@@ -1,0 +1,20 @@
+package main
+
+import (
+	"os"
+
+	"corropt"
+	"corropt/internal/topology"
+)
+
+func main() {
+	f, _ := os.Open("/tmp/mini.json")
+	topo, _ := topology.Read(f)
+	f.Close()
+	net, _ := corropt.NewNetwork(topo, 0.5)
+	net.Disable(0)
+	net.Disable(3)
+	out, _ := os.Create("/tmp/mini.state")
+	net.SaveState(out)
+	out.Close()
+}

@@ -1,0 +1,87 @@
+package corropt_test
+
+import (
+	"fmt"
+
+	"corropt"
+)
+
+// ExampleNewEngine shows the core mitigation loop: a corruption report
+// answered by the fast checker, a capacity refusal, and the optimizer
+// reacting to a repair.
+func ExampleNewEngine() {
+	topo, _ := corropt.NewClos(corropt.ClosConfig{
+		Pods: 1, ToRsPerPod: 2, AggsPerPod: 4, Spines: 4, SpineUplinksPerAgg: 1,
+	})
+	net, _ := corropt.NewNetwork(topo, 0.5) // every ToR keeps ≥50% of its paths
+	engine := corropt.NewEngine(net, corropt.EngineConfig{})
+
+	up := topo.Switch(topo.ToRs()[0]).Uplinks
+	d1 := engine.ReportCorruption(up[0], 1e-3)
+	d2 := engine.ReportCorruption(up[1], 1e-2)
+	d3 := engine.ReportCorruption(up[2], 1e-4)
+	fmt.Println("disabled:", d1.Disabled, d2.Disabled, d3.Disabled)
+
+	// Repairing the first link frees capacity; the optimizer swaps in the
+	// worst remaining corrupting link.
+	newly := engine.LinkRepaired(up[0])
+	fmt.Println("optimizer disabled", len(newly), "more")
+	// Output:
+	// disabled: true true false
+	// optimizer disabled 1 more
+}
+
+// ExampleRecommend shows Algorithm 1 mapping optical symptoms to repairs.
+func ExampleRecommend() {
+	tech := corropt.DefaultTechnologies()[1] // 40G-LR4
+
+	// One starved receiver with healthy transmitters: dirt on a connector.
+	d := corropt.Diagnostics{
+		HasOptics: true,
+		Rx1:       tech.RxThreshold - 3,
+		Rx2:       tech.NominalTx - 3,
+		Tx2:       tech.NominalTx,
+		Tech:      tech,
+	}
+	fmt.Println(corropt.Recommend(d))
+
+	// Both receivers starved: the fiber itself.
+	d.Rx2 = tech.RxThreshold - 2
+	fmt.Println(corropt.Recommend(d))
+	// Output:
+	// clean-fiber
+	// replace-fiber
+}
+
+// ExampleNewPathCounter shows the valley-free capacity metric CorrOpt's
+// constraints are built on.
+func ExampleNewPathCounter() {
+	topo, _ := corropt.NewClos(corropt.ClosConfig{
+		Pods: 1, ToRsPerPod: 1, AggsPerPod: 2, Spines: 4, SpineUplinksPerAgg: 2,
+	})
+	pc := corropt.NewPathCounter(topo)
+	tor := topo.ToRs()[0]
+	fmt.Println("total paths:", pc.Total()[tor])
+
+	// Disabling one of the ToR's two uplinks halves them.
+	dead := topo.Switch(tor).Uplinks[0]
+	counts := pc.Count(func(l corropt.LinkID) bool { return l == dead })
+	fmt.Println("after one uplink down:", counts[tor])
+	// Output:
+	// total paths: 4
+	// after one uplink down: 2
+}
+
+// ExampleBuildGadget shows the Appendix A reduction solving 3-SAT with the
+// optimizer.
+func ExampleBuildGadget() {
+	f := corropt.Formula{
+		NumVars: 2,
+		Clauses: []corropt.Clause{{1, 2, 2}, {-1, 2, 2}},
+	}
+	g, _ := corropt.BuildGadget(f)
+	n := g.MaxDisabled(corropt.OptimizerConfig{})
+	fmt.Println("disabled", n, "of", len(g.FaultyLinks), "faulty links; satisfiable:", n == f.NumVars)
+	// Output:
+	// disabled 2 of 4 faulty links; satisfiable: true
+}

@@ -1,0 +1,66 @@
+// Capacityplanning: the operator's knob. CorrOpt takes one policy input —
+// the per-ToR capacity constraint c — and the paper shows its benefit
+// depends heavily on it (Figure 17: no gain at 25%, orders of magnitude at
+// 75%). This example sweeps c over a synthetic quarter of faults and prints
+// the trade-off an operator actually faces: corruption penalty vs how much
+// path redundancy the mitigation is allowed to consume.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"corropt"
+)
+
+func main() {
+	topo, err := corropt.NewClos(corropt.ClosConfig{
+		Pods: 6, ToRsPerPod: 10, AggsPerPod: 4,
+		Spines: 16, SpineUplinksPerAgg: 8, BreakoutSize: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tech := corropt.DefaultTechnologies()[1]
+	horizon := 90 * 24 * time.Hour
+	inj, err := corropt.NewInjector(topo, tech, corropt.InjectorConfig{FaultsPerLinkPerDay: 1.0 / 400}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := inj.Generate(horizon)
+	fmt.Printf("fabric: %d links; %d faults over %d days\n\n",
+		topo.NumLinks(), len(trace), int(horizon.Hours()/24))
+	fmt.Printf("%-10s %-22s %-18s %-14s %s\n",
+		"capacity", "integrated penalty", "capacity blocked", "min worst ToR", "mean paths kept")
+
+	for _, c := range []float64{0.25, 0.50, 0.60, 0.75, 0.90} {
+		s, err := corropt.NewSim(topo, tech, corropt.SimConfig{
+			Policy:   corropt.PolicyCorrOpt,
+			Capacity: c,
+			Seed:     7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(trace, horizon)
+		if err != nil {
+			log.Fatal(err)
+		}
+		minWorst, meanSum := 1.0, 0.0
+		for _, smp := range res.Samples {
+			if smp.WorstToRFraction < minWorst {
+				minWorst = smp.WorstToRFraction
+			}
+			meanSum += smp.MeanToRFraction
+		}
+		fmt.Printf("%-10.0f %-22.6g %-18d %-14.3f %.4f\n",
+			c*100, res.IntegratedPenalty, res.UndisabledEvents, minWorst,
+			meanSum/float64(len(res.Samples)))
+	}
+	fmt.Println("\nreading the table: a lax constraint (25%) disables everything — zero")
+	fmt.Println("blocked events — but lets mitigation eat most of the fabric's path")
+	fmt.Println("redundancy; a strict one (90%) protects redundancy but strands")
+	fmt.Println("corrupting links (penalty grows). The paper calls 50–75% the")
+	fmt.Println("realistic regime; the knee in this table shows why.")
+}

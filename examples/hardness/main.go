@@ -1,0 +1,58 @@
+// Hardness: the Appendix A reduction made executable. We encode a 3-SAT
+// formula as a degraded fat-tree pod in which each literal's aggregation
+// switch has one faulty spine uplink; the CorrOpt optimizer can disable one
+// faulty link per variable exactly when the formula is satisfiable, and the
+// surviving links read out a satisfying assignment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"corropt"
+)
+
+func main() {
+	// (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x2 ∨ x3) ∧ (¬x1 ∨ ¬x2 ∨ ¬x3) ∧ (x1 ∨ x2 ∨ ¬x3)
+	f := corropt.Formula{
+		NumVars: 3,
+		Clauses: []corropt.Clause{
+			{1, -2, 3},
+			{-1, 2, 3},
+			{-1, -2, -3},
+			{1, 2, -3},
+		},
+	}
+	fmt.Println("formula: (x1 v !x2 v x3)(!x1 v x2 v x3)(!x1 v !x2 v !x3)(x1 v x2 v !x3)")
+	fmt.Printf("brute-force satisfiable: %v\n\n", f.Satisfiable())
+
+	g, err := corropt.BuildGadget(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := g.Net.Topology()
+	fmt.Printf("gadget: %d switches, %d links, %d faulty spine uplinks (one per literal)\n",
+		topo.NumSwitches(), topo.NumLinks(), len(g.FaultyLinks))
+	fmt.Println("constraint: every clause ToR and helper ToR keeps >=1 valley-free spine path")
+
+	n := g.MaxDisabled(corropt.OptimizerConfig{})
+	fmt.Printf("\noptimizer disabled %d of %d faulty links (NumVars = %d)\n", n, len(g.FaultyLinks), f.NumVars)
+	if n == f.NumVars {
+		fmt.Println("=> satisfiable, assignment read from the surviving literal links:")
+		for i, v := range g.Assignment() {
+			fmt.Printf("   x%d = %v\n", i+1, v)
+		}
+		fmt.Printf("assignment satisfies the formula: %v\n", g.AssignmentSatisfies())
+	} else {
+		fmt.Println("=> unsatisfiable: some variable had to keep both literal links")
+	}
+
+	// And an unsatisfiable instance for contrast.
+	u := corropt.Formula{NumVars: 1, Clauses: []corropt.Clause{{1, 1, 1}, {-1, -1, -1}}}
+	gu, err := corropt.BuildGadget(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncontrast x1 ∧ ¬x1: optimizer disabled %d of %d (must stay below %d)\n",
+		gu.MaxDisabled(corropt.OptimizerConfig{}), len(gu.FaultyLinks), u.NumVars)
+}

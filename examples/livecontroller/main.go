@@ -1,0 +1,114 @@
+// Livecontroller: the full Figure 13 deployment in one process — a CorrOpt
+// controller serving the control plane on localhost TCP, and a simulated
+// switch agent that injects root-caused faults, reports the resulting
+// corruption, and replays the repair loop. Watch the fast checker answer
+// reports instantly and the optimizer claw back blocked links after each
+// repair.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"corropt"
+)
+
+func main() {
+	topo, err := corropt.NewClos(corropt.ClosConfig{
+		Pods: 4, ToRsPerPod: 8, AggsPerPod: 4,
+		Spines: 16, SpineUplinksPerAgg: 8, BreakoutSize: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := corropt.NewNetwork(topo, 0.75)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := corropt.NewController("127.0.0.1:0", corropt.NewEngine(net, corropt.EngineConfig{}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctl.Close()
+	fmt.Printf("controller listening on %v (%d links, capacity 75%%)\n\n", ctl.Addr(), topo.NumLinks())
+
+	cli, err := corropt.DialController(ctl.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cli.Close()
+
+	// The agent side: ground-truth fault state + injector.
+	tech := corropt.DefaultTechnologies()[1]
+	state := corropt.NewFaultState(topo, tech)
+	inj, err := corropt.NewInjector(topo, tech, corropt.InjectorConfig{}, 2017)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type repair struct {
+		link corropt.LinkID
+		at   int // event index at which the repair completes
+	}
+	var queue []repair
+	const events = 12
+	for i := 0; i < events; i++ {
+		// Complete due repairs: fix ground truth, notify the controller.
+		var still []repair
+		for _, rp := range queue {
+			if rp.at > i {
+				still = append(still, rp)
+				continue
+			}
+			state.RepairLink(rp.link)
+			newly, err := cli.Activate(rp.link)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  [repair] link %d back up; optimizer disabled %d more\n", rp.link, len(newly))
+			for _, nl := range newly {
+				still = append(still, repair{link: nl, at: i + 2})
+			}
+		}
+		queue = still
+
+		f := inj.NewFault(time.Duration(i) * time.Hour)
+		state.Apply(f)
+		fmt.Printf("event %2d: %v on %d link(s)\n", i, f.Cause, len(f.Links()))
+		for _, l := range f.Links() {
+			rate := state.WorstRate(l)
+			d, err := cli.Report(l, rate)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if d.Disabled {
+				fmt.Printf("  [fast-check] link %-4d rate %.1e -> DISABLED\n", l, rate)
+				queue = append(queue, repair{link: l, at: i + 2}) // "two days" later
+			} else {
+				fmt.Printf("  [fast-check] link %-4d rate %.1e -> kept (%s)\n", l, rate, d.Reason)
+			}
+		}
+	}
+	// Drain.
+	for len(queue) > 0 {
+		rp := queue[0]
+		queue = queue[1:]
+		state.RepairLink(rp.link)
+		newly, err := cli.Activate(rp.link)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  [repair] link %d back up; optimizer disabled %d more\n", rp.link, len(newly))
+		for _, nl := range newly {
+			queue = append(queue, repair{link: nl})
+		}
+	}
+
+	st, err := cli.Status()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal: disabled=%d active_corrupting=%d worst_tor=%.3f total_penalty=%.3g\n",
+		st.Disabled, st.ActiveCorrupting, st.WorstToRFraction, st.TotalPenalty)
+}

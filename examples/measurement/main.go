@@ -1,0 +1,112 @@
+// Measurement: a miniature rerun of the paper's §2–§3 study on a synthetic
+// data center — inject a month of faults, observe the corrupting-link
+// population, and print the Table 1 loss buckets, stability, and asymmetry
+// statistics that motivated CorrOpt's design.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"corropt"
+)
+
+func main() {
+	topo, err := corropt.NewClos(corropt.ClosConfig{
+		Pods: 8, ToRsPerPod: 10, AggsPerPod: 8,
+		Spines: 16, SpineUplinksPerAgg: 8, BreakoutSize: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tech := corropt.DefaultTechnologies()[1]
+	state := corropt.NewFaultState(topo, tech)
+	inj, err := corropt.NewInjector(topo, tech, corropt.InjectorConfig{FaultsPerLinkPerDay: 0.002}, 2017)
+	if err != nil {
+		log.Fatal(err)
+	}
+	month := 30 * 24 * time.Hour
+	faults := inj.Generate(month)
+	for _, f := range faults {
+		state.Apply(f)
+	}
+	fmt.Printf("fabric: %d links; faults this month: %d\n\n", topo.NumLinks(), len(faults))
+
+	corrupting := state.CorruptingLinks(1e-8)
+	fmt.Printf("links with corruption (>= 1e-8): %d (%.2f%% of links)\n",
+		len(corrupting), 100*float64(len(corrupting))/float64(topo.NumLinks()))
+
+	// Table 1's buckets.
+	buckets := []struct {
+		name   string
+		lo, hi float64
+	}{
+		{"[1e-8, 1e-5)", 1e-8, 1e-5},
+		{"[1e-5, 1e-4)", 1e-5, 1e-4},
+		{"[1e-4, 1e-3)", 1e-4, 1e-3},
+		{"[1e-3, 1)   ", 1e-3, 1.1},
+	}
+	counts := make([]int, len(buckets))
+	for _, l := range corrupting {
+		r := state.WorstRate(l)
+		for i, b := range buckets {
+			if r >= b.lo && r < b.hi {
+				counts[i]++
+				break
+			}
+		}
+	}
+	fmt.Println("\nloss-rate buckets (paper Table 1: 47.2 / 18.4 / 21.7 / 12.7%):")
+	for i, b := range buckets {
+		fmt.Printf("  %s  %3d links  %5.1f%%\n", b.name, counts[i],
+			100*float64(counts[i])/float64(len(corrupting)))
+	}
+
+	// Asymmetry (paper Figure 5: 8.2% bidirectional).
+	bidi := 0
+	for _, l := range corrupting {
+		up := state.CorruptionRate(l, corropt.Up)
+		down := state.CorruptionRate(l, corropt.Down)
+		if up >= 1e-8 && down >= 1e-8 {
+			bidi++
+		}
+	}
+	fmt.Printf("\nbidirectional corruption: %.1f%% of corrupting links (paper: 8.2%%)\n",
+		100*float64(bidi)/float64(len(corrupting)))
+
+	// Severity spread: the reason disabling matters — a handful of links
+	// dominate the losses.
+	var rates []float64
+	for _, l := range corrupting {
+		rates = append(rates, state.WorstRate(l))
+	}
+	total := 0.0
+	worst := 0.0
+	for _, r := range rates {
+		total += r
+		if r > worst {
+			worst = r
+		}
+	}
+	fmt.Printf("\nseverity: worst link loses %.2g of its packets — %.0f%% of the fabric's entire corruption\n",
+		worst, 100*worst/total)
+	fmt.Printf("orders of magnitude spanned: %.1f\n", math.Log10(worstOver(rates)))
+}
+
+func worstOver(rates []float64) float64 {
+	lo, hi := math.Inf(1), 0.0
+	for _, r := range rates {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	if lo == 0 {
+		return 1
+	}
+	return hi / lo
+}

@@ -1,0 +1,88 @@
+// Recommendation: walk the five root causes of Table 2 through Algorithm
+// 1. For each cause we synthesize its most likely optical symptom signature
+// (TxPower/RxPower high or low on each side, neighbor corruption, repair
+// history) and show the repair action the engine recommends — the loop the
+// deployed recommendation engine runs for every ticket across 70+ data
+// centers.
+package main
+
+import (
+	"fmt"
+
+	"corropt"
+)
+
+func main() {
+	tech := corropt.DefaultTechnologies()[1] // 40G-LR4
+	healthyRx := tech.NominalTx - corropt.DefaultTechnologies()[1].RxThreshold
+	_ = healthyRx
+
+	lowRx := tech.RxThreshold - 3
+	okRx := tech.NominalTx - 3 // nominal minus path loss
+	lowTx := tech.TxThreshold - 1
+	okTx := tech.NominalTx
+
+	fmt.Printf("technology %s: RxThreshold %.1f dBm, TxThreshold %.1f dBm\n\n",
+		tech.Name, float64(tech.RxThreshold), float64(tech.TxThreshold))
+	fmt.Printf("%-28s %-34s %s\n", "SYMPTOM (Table 2)", "DIAGNOSTICS", "RECOMMENDATION")
+
+	cases := []struct {
+		name string
+		d    corropt.Diagnostics
+	}{
+		{
+			"connector contamination",
+			corropt.Diagnostics{HasOptics: true, Rx1: lowRx, Rx2: okRx, Tx2: okTx, Tech: tech},
+		},
+		{
+			"bent or damaged fiber",
+			corropt.Diagnostics{HasOptics: true, Rx1: lowRx, Rx2: lowRx, Tx2: okTx, Tech: tech},
+		},
+		{
+			"decaying transmitter",
+			corropt.Diagnostics{HasOptics: true, Rx1: lowRx, Rx2: okRx, Tx2: lowTx, Tech: tech},
+		},
+		{
+			"bad/loose transceiver (1st)",
+			corropt.Diagnostics{HasOptics: true, Rx1: okRx, Rx2: okRx, Tx2: okTx, Tech: tech},
+		},
+		{
+			"bad transceiver (reseated)",
+			corropt.Diagnostics{HasOptics: true, Rx1: okRx, Rx2: okRx, Tx2: okTx, RecentlyReseated: true, Tech: tech},
+		},
+		{
+			"shared component",
+			corropt.Diagnostics{HasOptics: true, NeighborCorrupting: true, Rx1: okRx, Rx2: okRx, Tx2: okTx, Tech: tech},
+		},
+		{
+			"bidirectional corruption",
+			corropt.Diagnostics{HasOptics: true, OppositeCorrupting: true, Rx1: lowRx, Rx2: lowRx, Tx2: okTx, Tech: tech},
+		},
+		{
+			"no optical data",
+			corropt.Diagnostics{HasOptics: false, Tech: tech},
+		},
+	}
+	for _, c := range cases {
+		symptom := fmt.Sprintf("Rx1=%.1f Rx2=%.1f Tx2=%.1f", float64(c.d.Rx1), float64(c.d.Rx2), float64(c.d.Tx2))
+		if c.d.NeighborCorrupting {
+			symptom += " +neighbors"
+		}
+		if c.d.OppositeCorrupting {
+			symptom += " +reverse"
+		}
+		if !c.d.HasOptics {
+			symptom = "(switch exposes no power data)"
+		}
+		fmt.Printf("%-28s %-34s %v\n", c.name, symptom, corropt.Recommend(c.d))
+	}
+
+	fmt.Println("\nDeployed (simplified) engine on the same inputs — no neighbor/history visibility:")
+	for _, c := range cases {
+		full := corropt.Recommend(c.d)
+		deployed := corropt.RecommendDeployed(c.d)
+		if full != deployed {
+			fmt.Printf("%-28s full=%v deployed=%v\n", c.name, full, deployed)
+		}
+	}
+}

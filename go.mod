@@ -1,0 +1,3 @@
+module corropt
+
+go 1.22

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"corropt/internal/topology"
+)
+
+// DefaultDetectionThreshold is the corruption rate at which operators act:
+// IEEE 802.3 demands 1e-8, but production systems alarm near 1e-6 (§2).
+const DefaultDetectionThreshold = 1e-6
+
+// Decision records what the engine did with a corruption report.
+type Decision struct {
+	Link topology.LinkID
+	// Disabled reports whether the link was taken down.
+	Disabled bool
+	// Reason explains a negative decision.
+	Reason string
+}
+
+// Engine ties CorrOpt's pieces into the workflow of Figure 13: switches
+// report corruption; the fast checker decides immediately whether the link
+// can be disabled; when repaired links come back, the optimizer reconsiders
+// every remaining active corrupting link.
+type Engine struct {
+	net       *Network
+	fast      *FastChecker
+	opt       *Optimizer
+	threshold float64
+}
+
+// EngineConfig parameterizes an Engine.
+type EngineConfig struct {
+	// DetectionThreshold is the corruption rate that triggers mitigation;
+	// default DefaultDetectionThreshold.
+	DetectionThreshold float64
+	// Penalty is the impact function; default LinearPenalty.
+	Penalty PenaltyFunc
+	// Optimizer tunes the second phase.
+	Optimizer OptimizerConfig
+}
+
+// NewEngine returns an Engine over net.
+func NewEngine(net *Network, cfg EngineConfig) *Engine {
+	if cfg.DetectionThreshold == 0 {
+		cfg.DetectionThreshold = DefaultDetectionThreshold
+	}
+	if cfg.Penalty == nil {
+		cfg.Penalty = LinearPenalty
+	}
+	return &Engine{
+		net:       net,
+		fast:      NewFastChecker(net),
+		opt:       NewOptimizer(net, cfg.Penalty, cfg.Optimizer),
+		threshold: cfg.DetectionThreshold,
+	}
+}
+
+// Network returns the engine's network state.
+func (e *Engine) Network() *Network { return e.net }
+
+// Threshold reports the detection threshold in use.
+func (e *Engine) Threshold() float64 { return e.threshold }
+
+// ReportCorruption handles a new corruption report for link l at the given
+// worst-direction rate: it records the rate and, if the rate is at or above
+// the detection threshold, runs the fast checker and disables the link when
+// capacity allows.
+func (e *Engine) ReportCorruption(l topology.LinkID, rate float64) Decision {
+	e.net.SetCorruption(l, rate)
+	d := Decision{Link: l}
+	switch {
+	case rate < e.threshold:
+		d.Reason = fmt.Sprintf("rate %.3g below detection threshold %.3g", rate, e.threshold)
+	case e.net.Disabled(l):
+		d.Disabled = true
+		d.Reason = "already disabled"
+	case e.fast.DisableIfSafe(l):
+		d.Disabled = true
+	default:
+		d.Reason = "capacity constraints forbid disabling"
+	}
+	return d
+}
+
+// LinkRepaired handles a link coming back from repair: the link is enabled,
+// its corruption record cleared (stillCorrupting rates get re-reported by
+// monitoring), and the optimizer runs over the remaining active corrupting
+// links, as link activations are what create room to disable more of them.
+// It returns the links the optimizer newly disabled.
+func (e *Engine) LinkRepaired(l topology.LinkID) []topology.LinkID {
+	e.net.Enable(l)
+	e.net.SetCorruption(l, 0)
+	disabled, _ := e.opt.Run(e.threshold)
+	return disabled
+}
+
+// Reoptimize runs the optimizer without any link state change, returning
+// the links it disabled; exposed for periodic background optimization.
+func (e *Engine) Reoptimize() ([]topology.LinkID, OptimizeStats) {
+	return e.opt.Run(e.threshold)
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"corropt/internal/topology"
+)
+
+func TestEngineReportAndRepair(t *testing.T) {
+	topo := smallClos(t)
+	net, _ := NewNetwork(topo, 0.5)
+	e := NewEngine(net, EngineConfig{})
+
+	tor := topo.ToRs()[0]
+	l1, l2 := topo.Switch(tor).Uplinks[0], topo.Switch(tor).Uplinks[1]
+
+	// Below-threshold reports are recorded but not acted upon.
+	d := e.ReportCorruption(l1, 1e-8)
+	if d.Disabled {
+		t.Fatal("sub-threshold corruption disabled a link")
+	}
+	if net.CorruptionRate(l1) != 1e-8 {
+		t.Fatal("rate not recorded")
+	}
+
+	// A real report disables the link via the fast checker.
+	d = e.ReportCorruption(l1, 1e-3)
+	if !d.Disabled {
+		t.Fatalf("link not disabled: %s", d.Reason)
+	}
+	if !net.Disabled(l1) {
+		t.Fatal("network state not updated")
+	}
+
+	// The ToR has 2 uplinks and c=0.5: its second uplink must stay.
+	d = e.ReportCorruption(l2, 1e-2)
+	if d.Disabled {
+		t.Fatal("disabling both uplinks would violate the constraint")
+	}
+	if d.Reason == "" {
+		t.Fatal("negative decision carries no reason")
+	}
+
+	// Re-reporting a disabled link is a no-op positive.
+	d = e.ReportCorruption(l1, 1e-3)
+	if !d.Disabled || d.Reason != "already disabled" {
+		t.Fatalf("re-report: %+v", d)
+	}
+
+	// Repairing l1 re-enables it and lets the optimizer disable l2 (the
+	// worse link now active).
+	newly := e.LinkRepaired(l1)
+	if net.Disabled(l1) {
+		t.Fatal("repaired link still disabled")
+	}
+	if net.CorruptionRate(l1) != 0 {
+		t.Fatal("repaired link keeps its corruption record")
+	}
+	if len(newly) != 1 || newly[0] != l2 {
+		t.Fatalf("optimizer disabled %v, want [%d]", newly, l2)
+	}
+	if !net.Disabled(l2) {
+		t.Fatal("l2 not disabled after repair of l1")
+	}
+}
+
+func TestEngineDefaultThreshold(t *testing.T) {
+	topo := smallClos(t)
+	net, _ := NewNetwork(topo, 0.5)
+	e := NewEngine(net, EngineConfig{})
+	if e.Threshold() != DefaultDetectionThreshold {
+		t.Fatalf("threshold = %v", e.Threshold())
+	}
+	if e.Network() != net {
+		t.Fatal("Network accessor broken")
+	}
+}
+
+func TestEngineReoptimize(t *testing.T) {
+	topo := smallClos(t)
+	net, _ := NewNetwork(topo, 0.25)
+	e := NewEngine(net, EngineConfig{})
+	// Two corrupting links that the fast checker path never saw (e.g.
+	// recorded out of band).
+	net.SetCorruption(1, 1e-3)
+	net.SetCorruption(2, 1e-3)
+	disabled, st := e.Reoptimize()
+	if len(disabled) != 2 {
+		t.Fatalf("reoptimize disabled %d, want 2 (stats %+v)", len(disabled), st)
+	}
+}
+
+func TestSwitchLocalMultiTier(t *testing.T) {
+	// With r=3 tiers, sc must be c^(1/3).
+	topo, err := topology.NewMultiTier([]int{8, 8, 8, 4}, []int{4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := NewNetwork(topo, 0.5)
+	sl, err := NewSwitchLocal(net, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.7937 // 0.5^(1/3)
+	if sc := sl.SC(); sc < want-0.001 || sc > want+0.001 {
+		t.Fatalf("sc = %v, want ≈%v", sc, want)
+	}
+}
+
+func TestSwitchLocalGuaranteesConstraint(t *testing.T) {
+	// Property: whatever corrupting set arrives, switch-local with
+	// sc = c^(1/r) never violates the ToR capacity constraint.
+	topo, err := topology.NewClos(topology.ClosConfig{
+		Pods: 2, ToRsPerPod: 3, AggsPerPod: 4, Spines: 8, SpineUplinksPerAgg: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := 0; seed < 10; seed++ {
+		net, _ := NewNetwork(topo, 0.6)
+		// Corrupt every third link, shifted by seed.
+		for l := seed; l < topo.NumLinks(); l += 3 {
+			net.SetCorruption(topology.LinkID(l), 1e-3)
+		}
+		sl, err := NewSwitchLocal(net, 0.6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sl.Sweep(1e-6)
+		if frac := net.WorstToRFraction(); frac < 0.6 {
+			t.Fatalf("seed %d: switch-local violated constraint: %v", seed, frac)
+		}
+	}
+}
+
+func TestSwitchLocalRawValidation(t *testing.T) {
+	topo := smallClos(t)
+	net, _ := NewNetwork(topo, 0.5)
+	if _, err := NewSwitchLocalRaw(net, -0.5); err == nil {
+		t.Fatal("negative sc accepted")
+	}
+	if _, err := NewSwitchLocal(net, 2); err == nil {
+		t.Fatal("c > 1 accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "corropt/internal/topology"
+
+// FastChecker implements CorrOpt's first phase (§5.1): when a link starts
+// corrupting packets, decide quickly — but using global path counts rather
+// than a switch-local rule — whether it can be disabled without violating
+// any ToR's capacity constraint.
+//
+// The check counts the valley-free paths of every ToR with the candidate
+// link removed, one O(|V|+|E|) bottom-up sweep, so a decision takes
+// milliseconds even on the largest data centers the paper studies.
+type FastChecker struct {
+	net *Network
+}
+
+// NewFastChecker returns a FastChecker over net.
+func NewFastChecker(net *Network) *FastChecker { return &FastChecker{net: net} }
+
+// CanDisable reports whether link l can be disabled right now without
+// violating any ToR capacity constraint. Already-disabled links are
+// trivially "disableable" (no state change).
+func (fc *FastChecker) CanDisable(l topology.LinkID) bool {
+	if fc.net.Disabled(l) {
+		return true
+	}
+	// Only ToRs downstream of l can lose paths; checking just those is the
+	// paper's "check the downstream of l" refinement.
+	tors := fc.net.Topology().DownstreamToRs(l)
+	return fc.net.FeasibleToRs(tors, map[topology.LinkID]bool{l: true})
+}
+
+// DisableIfSafe disables l if the capacity constraints allow it and reports
+// whether it did.
+func (fc *FastChecker) DisableIfSafe(l topology.LinkID) bool {
+	if fc.net.Disabled(l) {
+		return false
+	}
+	if !fc.CanDisable(l) {
+		return false
+	}
+	fc.net.Disable(l)
+	return true
+}
+
+// Sweep runs the fast check over every active corrupting link at or above
+// threshold, in decreasing corruption-rate order (most harmful first, so
+// when capacity is scarce it protects against the worst offenders), and
+// disables those that pass. It returns the links it disabled.
+//
+// The paper notes that as long as no link was activated since the last run,
+// the network is maximal after a sweep — no further link can be disabled —
+// so Sweep only needs to run on new corrupting links or after activations.
+func (fc *FastChecker) Sweep(threshold float64) []topology.LinkID {
+	active := fc.net.ActiveCorrupting(threshold)
+	// Sort by corruption rate, highest first.
+	for i := 1; i < len(active); i++ {
+		for j := i; j > 0 && fc.net.CorruptionRate(active[j]) > fc.net.CorruptionRate(active[j-1]); j-- {
+			active[j], active[j-1] = active[j-1], active[j]
+		}
+	}
+	var disabled []topology.LinkID
+	for _, l := range active {
+		if fc.DisableIfSafe(l) {
+			disabled = append(disabled, l)
+		}
+	}
+	return disabled
+}

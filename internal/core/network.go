@@ -1,0 +1,212 @@
+// Package core implements CorrOpt, the corruption-mitigation system of
+// "Understanding and Mitigating Packet Corruption in Data Center Networks"
+// (SIGCOMM 2017): the fast checker that decides in O(|E|) whether a newly
+// corrupting link can be disabled without violating per-ToR capacity
+// constraints, the optimizer that computes the exact optimal set of
+// corrupting links to disable (topology pruning + segmentation + reject
+// cache over an NP-complete search space), the switch-local baseline used in
+// production before CorrOpt, and the root-cause-aware repair recommendation
+// engine of Algorithm 1.
+package core
+
+import (
+	"fmt"
+
+	"corropt/internal/topology"
+)
+
+// Network is the mutable mitigation-facing view of a data center: which
+// links are administratively disabled, which enabled links are corrupting
+// and how badly, and the per-ToR capacity constraints.
+//
+// Network is not safe for concurrent use.
+type Network struct {
+	topo *topology.Topology
+	pc   *topology.PathCounter
+	// disabled marks administratively-down links.
+	disabled []bool
+	// rate holds the worst-direction corruption rate per link; zero for
+	// healthy links. Disabled links keep their rate so that re-enabling a
+	// still-broken link is visible to the caller.
+	rate []float64
+	// constraint is the per-ToR minimum fraction of valley-free spine
+	// paths that must remain available, indexed by SwitchID (non-ToR
+	// entries unused).
+	constraint []float64
+}
+
+// constraintSlack absorbs float64 rounding when comparing exact integer
+// path-count ratios against fractional constraints.
+const constraintSlack = 1e-9
+
+// NewNetwork returns a fully-enabled, fully-healthy Network with the same
+// capacity constraint c (0 <= c <= 1) for every ToR.
+func NewNetwork(topo *topology.Topology, c float64) (*Network, error) {
+	if c < 0 || c > 1 {
+		return nil, fmt.Errorf("core: capacity constraint %v out of [0,1]", c)
+	}
+	n := &Network{
+		topo:       topo,
+		pc:         topology.NewPathCounter(topo),
+		disabled:   make([]bool, topo.NumLinks()),
+		rate:       make([]float64, topo.NumLinks()),
+		constraint: make([]float64, topo.NumSwitches()),
+	}
+	for _, tor := range topo.ToRs() {
+		n.constraint[tor] = c
+	}
+	return n, nil
+}
+
+// Topology returns the underlying immutable topology.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// PathCounter exposes the network's path counter for callers computing
+// custom capacity metrics. The counter shares scratch space with the
+// Network; do not use it concurrently with Network methods.
+func (n *Network) PathCounter() *topology.PathCounter { return n.pc }
+
+// SetToRConstraint overrides the capacity constraint of one ToR. Traffic
+// demand differs across ToRs (§5.1), so CorrOpt supports per-ToR thresholds.
+func (n *Network) SetToRConstraint(tor topology.SwitchID, c float64) error {
+	if c < 0 || c > 1 {
+		return fmt.Errorf("core: capacity constraint %v out of [0,1]", c)
+	}
+	if n.topo.Switch(tor).Stage != 0 {
+		return fmt.Errorf("core: switch %q is not a ToR", n.topo.Switch(tor).Name)
+	}
+	n.constraint[tor] = c
+	return nil
+}
+
+// Constraint reports the capacity constraint of a ToR.
+func (n *Network) Constraint(tor topology.SwitchID) float64 { return n.constraint[tor] }
+
+// Disable administratively takes link l down (both directions).
+func (n *Network) Disable(l topology.LinkID) { n.disabled[l] = true }
+
+// Enable brings link l back up.
+func (n *Network) Enable(l topology.LinkID) { n.disabled[l] = false }
+
+// Disabled reports whether link l is administratively down.
+func (n *Network) Disabled(l topology.LinkID) bool { return n.disabled[l] }
+
+// DisabledFunc returns the link-disabled predicate for path counting.
+func (n *Network) DisabledFunc() topology.DisabledFunc {
+	return func(l topology.LinkID) bool { return n.disabled[l] }
+}
+
+// NumDisabled reports how many links are currently disabled.
+func (n *Network) NumDisabled() int {
+	c := 0
+	for _, d := range n.disabled {
+		if d {
+			c++
+		}
+	}
+	return c
+}
+
+// SetCorruption records the observed worst-direction corruption rate of
+// link l; zero clears it (the link has been repaired or was misdetected).
+func (n *Network) SetCorruption(l topology.LinkID, rate float64) { n.rate[l] = rate }
+
+// CorruptionRate reports the recorded corruption rate of link l.
+func (n *Network) CorruptionRate(l topology.LinkID) float64 { return n.rate[l] }
+
+// ActiveCorrupting returns the enabled links whose corruption rate is at or
+// above threshold — the set the optimizer works over.
+func (n *Network) ActiveCorrupting(threshold float64) []topology.LinkID {
+	var out []topology.LinkID
+	for l := range n.rate {
+		if !n.disabled[l] && n.rate[l] >= threshold {
+			out = append(out, topology.LinkID(l))
+		}
+	}
+	return out
+}
+
+// meets reports whether ToR tor meets its constraint given per-ToR counts
+// and totals.
+func (n *Network) meets(tor topology.SwitchID, counts, total []int64) bool {
+	if total[tor] == 0 {
+		return n.constraint[tor] <= 0
+	}
+	frac := float64(counts[tor]) / float64(total[tor])
+	return frac+constraintSlack >= n.constraint[tor]
+}
+
+// ViolatedToRs returns the ToRs whose capacity constraints are violated
+// when, in addition to the currently disabled links, every link in extra is
+// disabled. A nil extra checks the current state.
+func (n *Network) ViolatedToRs(extra map[topology.LinkID]bool) []topology.SwitchID {
+	counts := n.pc.Count(n.composite(extra))
+	total := n.pc.Total()
+	var out []topology.SwitchID
+	for _, tor := range n.topo.ToRs() {
+		if !n.meets(tor, counts, total) {
+			out = append(out, tor)
+		}
+	}
+	return out
+}
+
+// FeasibleToRs reports whether every ToR in tors meets its constraint with
+// the current disabled set plus extra. Restricting the check to affected
+// ToRs is what keeps the optimizer's inner loop cheap.
+func (n *Network) FeasibleToRs(tors []topology.SwitchID, extra map[topology.LinkID]bool) bool {
+	return n.feasibleToRsWith(n.pc, tors, extra)
+}
+
+// feasibleToRsWith is FeasibleToRs evaluated on a caller-supplied path
+// counter. The parallel optimizer gives each worker its own counter so
+// feasibility checks can run concurrently; during that phase the disabled
+// set and constraints are read-only, which is what makes this safe.
+func (n *Network) feasibleToRsWith(pc *topology.PathCounter, tors []topology.SwitchID, extra map[topology.LinkID]bool) bool {
+	counts := pc.Count(n.composite(extra))
+	total := pc.Total()
+	for _, tor := range tors {
+		if !n.meets(tor, counts, total) {
+			return false
+		}
+	}
+	return true
+}
+
+// Feasible reports whether every ToR meets its constraint with the current
+// disabled set plus extra.
+func (n *Network) Feasible(extra map[topology.LinkID]bool) bool {
+	return len(n.ViolatedToRs(extra)) == 0
+}
+
+// composite merges the persistent disabled set with a tentative extra set.
+func (n *Network) composite(extra map[topology.LinkID]bool) topology.DisabledFunc {
+	if extra == nil {
+		return n.DisabledFunc()
+	}
+	return func(l topology.LinkID) bool { return n.disabled[l] || extra[l] }
+}
+
+// WorstToRFraction reports the minimum per-ToR available-path fraction in
+// the current state (Figures 15 and 16).
+func (n *Network) WorstToRFraction() float64 {
+	return n.pc.WorstToRFraction(n.DisabledFunc())
+}
+
+// MeanToRFraction reports the average per-ToR available-path fraction in
+// the current state (§7.3's capacity-cost metric).
+func (n *Network) MeanToRFraction() float64 {
+	return n.pc.MeanToRFraction(n.DisabledFunc())
+}
+
+// TotalPenalty sums penalty(rate) over enabled corrupting links: the
+// objective Σ (1 - d_l) · I(f_l) of §5.1.
+func (n *Network) TotalPenalty(p PenaltyFunc) float64 {
+	sum := 0.0
+	for l, r := range n.rate {
+		if r > 0 && !n.disabled[l] {
+			sum += p(r)
+		}
+	}
+	return sum
+}

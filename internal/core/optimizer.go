@@ -1,0 +1,433 @@
+package core
+
+import (
+	"sort"
+
+	"corropt/internal/topology"
+)
+
+// OptimizerConfig toggles the optimizer's acceleration techniques; all
+// default to on. The ablation benches flip them individually.
+type OptimizerConfig struct {
+	// DisablePruning turns off topology pruning (§5.1, Figure 11): the
+	// step that disables unconditionally every corrupting link not
+	// upstream of a capacity-endangered ToR.
+	DisablePruning bool
+	// DisableSegmentation turns off topology segmentation (§8, Figure
+	// 20): solving independent groups of contested links separately.
+	DisableSegmentation bool
+	// DisableRejectCache turns off the reject cache: memoizing infeasible
+	// link subsets so any superset is rejected without a path count.
+	DisableRejectCache bool
+	// MaxExactLinks caps the number of links in one segment solved by
+	// exact search; larger segments fall back to a greedy maximal
+	// solution. Default 24 (bitmask-bounded at 62).
+	MaxExactLinks int
+	// MaxFeasibilityChecks bounds the exact search's work per segment;
+	// when exhausted, the best subset found so far is used. Default
+	// 500000. The result is then maximal-feasible but possibly not
+	// optimal; Stats.BudgetExhausted records the event.
+	MaxFeasibilityChecks int
+	// Workers solves independent segments concurrently when > 1, each
+	// worker with its own path counter. 0 or 1 is serial. Segments are
+	// independent by construction (§8's segmentation argument), so the
+	// answer is identical to the serial one.
+	Workers int
+}
+
+func (c *OptimizerConfig) fillDefaults() {
+	if c.MaxExactLinks == 0 {
+		c.MaxExactLinks = 24
+	}
+	if c.MaxExactLinks > 62 {
+		c.MaxExactLinks = 62
+	}
+	if c.MaxFeasibilityChecks == 0 {
+		c.MaxFeasibilityChecks = 500000
+	}
+}
+
+// OptimizeStats describes one optimizer run.
+type OptimizeStats struct {
+	// Active is the number of enabled corrupting links considered.
+	Active int
+	// SafelyDisabled is how many were disabled unconditionally by
+	// pruning.
+	SafelyDisabled int
+	// Segments is the number of independent contested groups.
+	Segments int
+	// LargestSegment is the size of the biggest contested group.
+	LargestSegment int
+	// FeasibilityChecks counts full path-count evaluations.
+	FeasibilityChecks int
+	// RejectCacheHits counts subsets rejected by the cache without a
+	// path count.
+	RejectCacheHits int
+	// GreedyFallbacks counts segments too large for exact search.
+	GreedyFallbacks int
+	// BudgetExhausted counts segments whose exact search ran out of its
+	// feasibility-check budget.
+	BudgetExhausted int
+}
+
+// Optimizer implements CorrOpt's second phase (§5.1): when links are
+// re-enabled after repair, compute the optimal subset of the remaining
+// active corrupting links to disable — the exact solution to the
+// NP-complete problem of Theorem 5.1 — using topology pruning, topology
+// segmentation, and a reject cache to make practical instances fast.
+type Optimizer struct {
+	net     *Network
+	penalty PenaltyFunc
+	cfg     OptimizerConfig
+}
+
+// NewOptimizer returns an Optimizer over net minimizing the given penalty.
+func NewOptimizer(net *Network, penalty PenaltyFunc, cfg OptimizerConfig) *Optimizer {
+	cfg.fillDefaults()
+	if penalty == nil {
+		penalty = LinearPenalty
+	}
+	return &Optimizer{net: net, penalty: penalty, cfg: cfg}
+}
+
+// Run optimizes over all active corrupting links at or above threshold,
+// disables the chosen subset on the network, and returns the disabled links
+// along with run statistics.
+func (o *Optimizer) Run(threshold float64) ([]topology.LinkID, OptimizeStats) {
+	var st OptimizeStats
+	active := o.net.ActiveCorrupting(threshold)
+	st.Active = len(active)
+	if len(active) == 0 {
+		return nil, st
+	}
+
+	extra := make(map[topology.LinkID]bool, len(active))
+	for _, l := range active {
+		extra[l] = true
+	}
+	violated := o.net.ViolatedToRs(extra)
+	if len(violated) == 0 {
+		// Everything can go.
+		for _, l := range active {
+			o.net.Disable(l)
+		}
+		st.SafelyDisabled = len(active)
+		return active, st
+	}
+
+	var safe, contested []topology.LinkID
+	if o.cfg.DisablePruning {
+		contested = active
+	} else {
+		upstream := o.net.Topology().UpstreamLinks(violated)
+		for _, l := range active {
+			if upstream[l] {
+				contested = append(contested, l)
+			} else {
+				safe = append(safe, l)
+			}
+		}
+		// Links not upstream of any endangered ToR cannot violate
+		// anything: disable immediately.
+		for _, l := range safe {
+			o.net.Disable(l)
+		}
+		st.SafelyDisabled = len(safe)
+	}
+
+	disabled := append([]topology.LinkID(nil), safe...)
+	violatedSet := make(map[topology.SwitchID]bool, len(violated))
+	for _, t := range violated {
+		violatedSet[t] = true
+	}
+	segs := o.segments(contested, violatedSet, &st)
+	if o.cfg.Workers > 1 && len(segs) > 1 {
+		for _, l := range o.solveParallel(segs, &st) {
+			o.net.Disable(l)
+			disabled = append(disabled, l)
+		}
+	} else {
+		for _, seg := range segs {
+			chosen := o.solveSegment(seg, o.net.PathCounter(), &st)
+			for _, l := range chosen {
+				o.net.Disable(l)
+				disabled = append(disabled, l)
+			}
+		}
+	}
+	return disabled, st
+}
+
+// solveParallel fans the segments out over a bounded worker pool. The
+// network's disabled set and constraints are read-only while workers run;
+// every worker evaluates feasibility on its own path counter, and results
+// are applied only after all workers return.
+func (o *Optimizer) solveParallel(segs []segment, st *OptimizeStats) []topology.LinkID {
+	workers := o.cfg.Workers
+	if workers > len(segs) {
+		workers = len(segs)
+	}
+	type result struct {
+		chosen []topology.LinkID
+		stats  OptimizeStats
+	}
+	results := make([]result, len(segs))
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			pc := topology.NewPathCounter(o.net.Topology())
+			for i := range jobs {
+				var local OptimizeStats
+				results[i].chosen = o.solveSegment(segs[i], pc, &local)
+				results[i].stats = local
+			}
+		}()
+	}
+	for i := range segs {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	var out []topology.LinkID
+	for _, res := range results {
+		out = append(out, res.chosen...)
+		st.FeasibilityChecks += res.stats.FeasibilityChecks
+		st.RejectCacheHits += res.stats.RejectCacheHits
+		st.GreedyFallbacks += res.stats.GreedyFallbacks
+		st.BudgetExhausted += res.stats.BudgetExhausted
+	}
+	return out
+}
+
+// segment is one independent group of contested links and the endangered
+// ToRs they can affect.
+type segment struct {
+	links []topology.LinkID
+	tors  []topology.SwitchID
+}
+
+// segments groups contested links such that two links sharing an endangered
+// downstream ToR land in the same group; groups can then be optimized
+// independently (§8's topology segmentation).
+func (o *Optimizer) segments(contested []topology.LinkID, violated map[topology.SwitchID]bool, st *OptimizeStats) []segment {
+	if len(contested) == 0 {
+		return nil
+	}
+	affected := make([][]topology.SwitchID, len(contested))
+	for i, l := range contested {
+		for _, tor := range o.net.Topology().DownstreamToRs(l) {
+			if violated[tor] {
+				affected[i] = append(affected[i], tor)
+			}
+		}
+	}
+	parent := make([]int, len(contested))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	if o.cfg.DisableSegmentation {
+		for i := 1; i < len(contested); i++ {
+			union(0, i)
+		}
+	} else {
+		torOwner := make(map[topology.SwitchID]int)
+		for i := range contested {
+			for _, tor := range affected[i] {
+				if prev, ok := torOwner[tor]; ok {
+					union(prev, i)
+				} else {
+					torOwner[tor] = i
+				}
+			}
+		}
+	}
+
+	groups := make(map[int]*segment)
+	for i, l := range contested {
+		root := find(i)
+		g, ok := groups[root]
+		if !ok {
+			g = &segment{}
+			groups[root] = g
+		}
+		g.links = append(g.links, l)
+		g.tors = append(g.tors, affected[i]...)
+	}
+	out := make([]segment, 0, len(groups))
+	for _, g := range groups {
+		g.tors = dedupToRs(g.tors)
+		out = append(out, *g)
+		if len(g.links) > st.LargestSegment {
+			st.LargestSegment = len(g.links)
+		}
+	}
+	// Deterministic order for reproducibility.
+	sort.Slice(out, func(i, j int) bool { return out[i].links[0] < out[j].links[0] })
+	st.Segments = len(out)
+	return out
+}
+
+func dedupToRs(tors []topology.SwitchID) []topology.SwitchID {
+	sort.Slice(tors, func(i, j int) bool { return tors[i] < tors[j] })
+	out := tors[:0]
+	for i, t := range tors {
+		if i == 0 || t != tors[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// solveSegment picks the subset of seg.links to disable that maximizes the
+// disabled penalty while keeping seg.tors feasible, evaluating feasibility
+// on the supplied path counter.
+func (o *Optimizer) solveSegment(seg segment, pc *topology.PathCounter, st *OptimizeStats) []topology.LinkID {
+	// Highest-penalty links first: better bounds, and the greedy fallback
+	// then prefers the worst offenders.
+	links := append([]topology.LinkID(nil), seg.links...)
+	sort.Slice(links, func(i, j int) bool {
+		pi, pj := o.penalty(o.net.CorruptionRate(links[i])), o.penalty(o.net.CorruptionRate(links[j]))
+		if pi != pj {
+			return pi > pj
+		}
+		return links[i] < links[j]
+	})
+
+	if len(links) > o.cfg.MaxExactLinks {
+		st.GreedyFallbacks++
+		return o.greedy(links, seg.tors, pc, st)
+	}
+
+	s := &segSolver{
+		net:      o.net,
+		pc:       pc,
+		tors:     seg.tors,
+		links:    links,
+		pen:      make([]float64, len(links)),
+		suffix:   make([]float64, len(links)+1),
+		extra:    make(map[topology.LinkID]bool, len(links)),
+		useCache: !o.cfg.DisableRejectCache,
+		budget:   o.cfg.MaxFeasibilityChecks,
+	}
+	for i, l := range links {
+		s.pen[i] = o.penalty(o.net.CorruptionRate(l))
+	}
+	for i := len(links) - 1; i >= 0; i-- {
+		s.suffix[i] = s.suffix[i+1] + s.pen[i]
+	}
+	s.dfs(0, 0, 0)
+	st.FeasibilityChecks += s.checks
+	st.RejectCacheHits += s.cacheHits
+	if s.budget <= 0 {
+		st.BudgetExhausted++
+	}
+	var chosen []topology.LinkID
+	for i, l := range links {
+		if s.bestMask&(1<<uint(i)) != 0 {
+			chosen = append(chosen, l)
+		}
+	}
+	return chosen
+}
+
+// greedy disables links one at a time, worst first, keeping each only if
+// the segment's ToRs stay feasible. The result is maximal but not
+// necessarily optimal; it is the fallback for segments beyond exact reach.
+func (o *Optimizer) greedy(links []topology.LinkID, tors []topology.SwitchID, pc *topology.PathCounter, st *OptimizeStats) []topology.LinkID {
+	extra := make(map[topology.LinkID]bool, len(links))
+	var chosen []topology.LinkID
+	for _, l := range links {
+		extra[l] = true
+		st.FeasibilityChecks++
+		if o.net.feasibleToRsWith(pc, tors, extra) {
+			chosen = append(chosen, l)
+		} else {
+			delete(extra, l)
+		}
+	}
+	return chosen
+}
+
+// segSolver is the branch-and-bound exact search over one segment. Subsets
+// are explored by including or excluding links in penalty order; the
+// monotonicity of the capacity constraint (disabling more links never adds
+// paths) makes infeasible-subset pruning and the reject cache sound.
+type segSolver struct {
+	net    *Network
+	pc     *topology.PathCounter
+	tors   []topology.SwitchID
+	links  []topology.LinkID
+	pen    []float64
+	suffix []float64
+	extra  map[topology.LinkID]bool
+
+	useCache bool
+	cache    []uint64
+	budget   int
+
+	best     float64
+	bestMask uint64
+
+	checks    int
+	cacheHits int
+}
+
+func (s *segSolver) dfs(i int, mask uint64, got float64) {
+	if got > s.best {
+		s.best = got
+		s.bestMask = mask
+	}
+	if i == len(s.links) || s.budget <= 0 {
+		return
+	}
+	// Bound: even disabling every remaining link cannot beat the best.
+	if got+s.suffix[i] <= s.best {
+		return
+	}
+	// Branch 1: disable links[i].
+	cand := mask | 1<<uint(i)
+	if s.feasible(cand, s.links[i]) {
+		s.extra[s.links[i]] = true
+		s.dfs(i+1, cand, got+s.pen[i])
+		delete(s.extra, s.links[i])
+	}
+	// Branch 2: keep links[i] active.
+	s.dfs(i+1, mask, got)
+}
+
+// feasible tests whether the current subset plus link l keeps the
+// segment's ToRs within their constraints, consulting the reject cache
+// first.
+func (s *segSolver) feasible(cand uint64, l topology.LinkID) bool {
+	if s.useCache {
+		for _, m := range s.cache {
+			if cand&m == m {
+				s.cacheHits++
+				return false
+			}
+		}
+	}
+	s.extra[l] = true
+	s.checks++
+	s.budget--
+	ok := s.net.feasibleToRsWith(s.pc, s.tors, s.extra)
+	delete(s.extra, l)
+	if !ok && s.useCache {
+		s.cache = append(s.cache, cand)
+	}
+	return ok
+}

@@ -1,0 +1,50 @@
+package core
+
+import "math"
+
+// PenaltyFunc is the monotonically increasing impact function I(f) mapping
+// a link's corruption loss rate f to its application-level penalty (§5.1).
+// CorrOpt minimizes Σ (1 - d_l) · I(f_l) over corrupting links.
+type PenaltyFunc func(rate float64) float64
+
+// LinearPenalty is I(f) = f, the function the paper's evaluation uses: the
+// total penalty is then proportional to the number of corruption losses
+// (assuming equal utilization on all links).
+func LinearPenalty(rate float64) float64 { return rate }
+
+// TCPThroughputPenalty models the application impact of loss on a
+// loss-sensitive transport: by the Mathis/Padhye square-root law the
+// achievable throughput scales as 1/sqrt(f), so the throughput lost
+// relative to a loss-free link grows as 1 - min(1, k/sqrt(f)). The paper
+// cites Padhye et al. [27] as the kind of relationship I(.) can encode;
+// this concave penalty is provided for the ablation benches, which show how
+// the choice of I changes which links the optimizer sacrifices.
+func TCPThroughputPenalty(rate float64) float64 {
+	if rate <= 0 {
+		return 0
+	}
+	// Normalize so that a 1e-6 loss rate (the operators' alarm level)
+	// costs ~1% of throughput and the penalty saturates at 1.
+	const k = 1e-4
+	loss := 1 - k/math.Sqrt(rate)
+	if loss < 0 {
+		return 0
+	}
+	if loss > 1 {
+		return 1
+	}
+	return loss
+}
+
+// StepPenalty returns a threshold penalty: links at or above cutoff cost 1,
+// links below cost 0. With it, minimizing penalty reduces to maximizing the
+// number of disabled corrupting links — the "optimizing for link removal"
+// variant Appendix A also proves NP-complete.
+func StepPenalty(cutoff float64) PenaltyFunc {
+	return func(rate float64) float64 {
+		if rate >= cutoff {
+			return 1
+		}
+		return 0
+	}
+}

@@ -1,0 +1,88 @@
+package ctlplane
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"corropt/internal/topology"
+)
+
+// Client is a switch agent's connection to the CorrOpt controller. Calls
+// are synchronous request/response; a Client is safe for sequential use
+// only (agents report events one at a time).
+type Client struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// Dial connects to the controller at addr with a per-call deadline
+// (default 5s when zero).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctlplane: dial: %w", err)
+	}
+	return &Client{conn: conn, timeout: timeout}, nil
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *Envelope) (*Envelope, error) {
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, err
+	}
+	if err := WriteMsg(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := ReadMsg(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type == TypeError {
+		return nil, fmt.Errorf("ctlplane: controller error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Report announces corruption on a link and returns the controller's
+// decision.
+func (c *Client) Report(link topology.LinkID, rate float64) (*Decision, error) {
+	resp, err := c.roundTrip(&Envelope{Type: TypeReport, Report: &Report{Link: link, Rate: rate}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != TypeDecision || resp.Decision == nil {
+		return nil, fmt.Errorf("ctlplane: unexpected reply %q to report", resp.Type)
+	}
+	return resp.Decision, nil
+}
+
+// Activate announces a repaired link and returns the links the optimizer
+// disabled in response.
+func (c *Client) Activate(link topology.LinkID) ([]topology.LinkID, error) {
+	resp, err := c.roundTrip(&Envelope{Type: TypeActivate, Activate: &Activate{Link: link}})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != TypeActivateResult || resp.ActivateResult == nil {
+		return nil, fmt.Errorf("ctlplane: unexpected reply %q to activate", resp.Type)
+	}
+	return resp.ActivateResult.Disabled, nil
+}
+
+// Status fetches the controller's state summary.
+func (c *Client) Status() (*StatusResult, error) {
+	resp, err := c.roundTrip(&Envelope{Type: TypeStatus})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Type != TypeStatusResult || resp.Status == nil {
+		return nil, fmt.Errorf("ctlplane: unexpected reply %q to status", resp.Type)
+	}
+	return resp.Status, nil
+}

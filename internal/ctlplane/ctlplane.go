@@ -1,0 +1,131 @@
+// Package ctlplane implements the control-plane protocol of Figure 13:
+// switches (or the monitoring system acting on their behalf) report packet
+// corruption to the CorrOpt controller over TCP; the controller answers
+// each report with a disable/keep decision from the fast checker, and
+// reacts to link-activation notifications by running the optimizer.
+//
+// Framing is a 4-byte big-endian length followed by one JSON-encoded
+// message; message bodies are small and infrequent (corruption events, not
+// packets), so readability wins over compactness here.
+package ctlplane
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"corropt/internal/topology"
+)
+
+// MaxFrame bounds one frame to keep a misbehaving peer from ballooning
+// memory.
+const MaxFrame = 1 << 20
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+const (
+	// TypeReport is agent→controller: a link is corrupting.
+	TypeReport MsgType = "report"
+	// TypeDecision is controller→agent: the disable/keep answer.
+	TypeDecision MsgType = "decision"
+	// TypeActivate is agent→controller: a repaired link came back.
+	TypeActivate MsgType = "activate"
+	// TypeActivateResult is controller→agent: links newly disabled by the
+	// optimizer in response.
+	TypeActivateResult MsgType = "activate-result"
+	// TypeStatus is agent→controller: request a state summary.
+	TypeStatus MsgType = "status"
+	// TypeStatusResult carries the summary.
+	TypeStatusResult MsgType = "status-result"
+	// TypeError reports a request the controller could not serve.
+	TypeError MsgType = "error"
+)
+
+// Envelope is the frame body: a type tag plus one non-nil payload field.
+type Envelope struct {
+	Type MsgType `json:"type"`
+
+	Report         *Report         `json:"report,omitempty"`
+	Decision       *Decision       `json:"decision,omitempty"`
+	Activate       *Activate       `json:"activate,omitempty"`
+	ActivateResult *ActivateResult `json:"activate_result,omitempty"`
+	Status         *StatusResult   `json:"status,omitempty"`
+	Error          string          `json:"error,omitempty"`
+}
+
+// Report announces corruption on a link.
+type Report struct {
+	Link topology.LinkID `json:"link"`
+	// Rate is the worst-direction corruption loss rate.
+	Rate float64 `json:"rate"`
+}
+
+// Decision is the controller's reply to a Report.
+type Decision struct {
+	Link     topology.LinkID `json:"link"`
+	Disabled bool            `json:"disabled"`
+	Reason   string          `json:"reason,omitempty"`
+	// Recommendation is the suggested repair for the ticket, when the
+	// link was disabled; free-form action name.
+	Recommendation string `json:"recommendation,omitempty"`
+}
+
+// Activate announces a repaired link being brought back.
+type Activate struct {
+	Link topology.LinkID `json:"link"`
+}
+
+// ActivateResult lists the links the optimizer disabled in response.
+type ActivateResult struct {
+	Disabled []topology.LinkID `json:"disabled"`
+}
+
+// StatusResult summarizes the controller's view.
+type StatusResult struct {
+	Links            int     `json:"links"`
+	Disabled         int     `json:"disabled"`
+	ActiveCorrupting int     `json:"active_corrupting"`
+	WorstToRFraction float64 `json:"worst_tor_fraction"`
+	TotalPenalty     float64 `json:"total_penalty"`
+}
+
+// WriteMsg frames and writes one envelope.
+func WriteMsg(w io.Writer, e *Envelope) error {
+	body, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("ctlplane: marshal: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("ctlplane: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMsg reads one framed envelope.
+func ReadMsg(r io.Reader) (*Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("ctlplane: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var e Envelope
+	if err := json.Unmarshal(body, &e); err != nil {
+		return nil, fmt.Errorf("ctlplane: unmarshal: %w", err)
+	}
+	return &e, nil
+}

@@ -1,0 +1,154 @@
+package ctlplane
+
+import (
+	"errors"
+	"log"
+	"net"
+	"sync"
+
+	"corropt/internal/core"
+)
+
+// Controller serves the CorrOpt control plane over TCP. All decisions run
+// against one core.Engine guarded by a mutex: corruption events are rare
+// (per §3, a handful of links per data center per day), so a single
+// serialized decision path is both simple and far faster than needed.
+type Controller struct {
+	engine *core.Engine
+
+	mu sync.Mutex // guards engine
+
+	lnMu   sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logger receives connection-level errors; nil silences them.
+	Logger *log.Logger
+}
+
+// NewController starts a controller for engine on addr (e.g.
+// "127.0.0.1:0").
+func NewController(addr string, engine *core.Engine) (*Controller, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{engine: engine, ln: ln, conns: make(map[net.Conn]struct{})}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr reports the controller's bound address.
+func (c *Controller) Addr() net.Addr { return c.ln.Addr() }
+
+// Close stops the controller and tears down open connections.
+func (c *Controller) Close() error {
+	c.lnMu.Lock()
+	if c.closed {
+		c.lnMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	err := c.ln.Close()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.lnMu.Unlock()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.lnMu.Lock()
+		if c.closed {
+			c.lnMu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conns[conn] = struct{}{}
+		c.lnMu.Unlock()
+		c.wg.Add(1)
+		go c.serveConn(conn)
+	}
+}
+
+func (c *Controller) serveConn(conn net.Conn) {
+	defer c.wg.Done()
+	defer func() {
+		conn.Close()
+		c.lnMu.Lock()
+		delete(c.conns, conn)
+		c.lnMu.Unlock()
+	}()
+	for {
+		msg, err := ReadMsg(conn)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) && c.Logger != nil {
+				c.Logger.Printf("ctlplane: connection %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		reply := c.handle(msg)
+		if err := WriteMsg(conn, reply); err != nil {
+			if c.Logger != nil {
+				c.Logger.Printf("ctlplane: write to %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+	}
+}
+
+func (c *Controller) handle(msg *Envelope) *Envelope {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	net := c.engine.Network()
+	switch msg.Type {
+	case TypeReport:
+		if msg.Report == nil {
+			return errEnvelope("report message without report body")
+		}
+		r := msg.Report
+		if int(r.Link) < 0 || int(r.Link) >= net.Topology().NumLinks() {
+			return errEnvelope("unknown link")
+		}
+		d := c.engine.ReportCorruption(r.Link, r.Rate)
+		return &Envelope{Type: TypeDecision, Decision: &Decision{
+			Link:     d.Link,
+			Disabled: d.Disabled,
+			Reason:   d.Reason,
+		}}
+	case TypeActivate:
+		if msg.Activate == nil {
+			return errEnvelope("activate message without body")
+		}
+		a := msg.Activate
+		if int(a.Link) < 0 || int(a.Link) >= net.Topology().NumLinks() {
+			return errEnvelope("unknown link")
+		}
+		disabled := c.engine.LinkRepaired(a.Link)
+		return &Envelope{Type: TypeActivateResult, ActivateResult: &ActivateResult{Disabled: disabled}}
+	case TypeStatus:
+		return &Envelope{Type: TypeStatusResult, Status: &StatusResult{
+			Links:            net.Topology().NumLinks(),
+			Disabled:         net.NumDisabled(),
+			ActiveCorrupting: len(net.ActiveCorrupting(c.engine.Threshold())),
+			WorstToRFraction: net.WorstToRFraction(),
+			TotalPenalty:     net.TotalPenalty(core.LinearPenalty),
+		}}
+	default:
+		return errEnvelope("unknown message type " + string(msg.Type))
+	}
+}
+
+func errEnvelope(msg string) *Envelope {
+	return &Envelope{Type: TypeError, Error: msg}
+}

@@ -1,0 +1,158 @@
+// Package detector implements the monitoring component of Figure 13: it
+// periodically reads each link's packet and error counters (from a
+// telemetry collector directly, or over the snmplite wire), derives
+// per-interval corruption loss rates from counter deltas, applies the
+// detection threshold with hysteresis, and reports state transitions —
+// "link started corrupting", "link recovered" — to whoever mitigates.
+//
+// The counter-delta arithmetic deliberately mirrors what production SNMP
+// pollers do: rates come from differences of monotonically increasing
+// counters between polls, never from instantaneous gauges, so a counter
+// that does not move contributes a rate of zero rather than NaN.
+package detector
+
+import (
+	"fmt"
+
+	"corropt/internal/topology"
+)
+
+// Reading is one poll of one link's cumulative counters, per direction.
+type Reading struct {
+	Link    topology.LinkID
+	Packets [2]uint64
+	Errors  [2]uint64
+}
+
+// Source supplies cumulative counters for a set of links. Implementations
+// wrap a telemetry.Collector (in-process) or an snmplite client (remote).
+type Source interface {
+	// Read returns the current cumulative counters of the given link.
+	Read(l topology.LinkID) (Reading, error)
+}
+
+// SourceFunc adapts a function to the Source interface.
+type SourceFunc func(l topology.LinkID) (Reading, error)
+
+// Read implements Source.
+func (f SourceFunc) Read(l topology.LinkID) (Reading, error) { return f(l) }
+
+// Event is a detection-state transition.
+type Event struct {
+	Link topology.LinkID
+	// Corrupting is true when the link crossed above the detection
+	// threshold; false when it recovered below the clear threshold.
+	Corrupting bool
+	// Rate is the worst-direction corruption rate over the last interval.
+	Rate float64
+}
+
+// Config parameterizes a Detector.
+type Config struct {
+	// Threshold is the corruption rate that raises a corrupting event;
+	// default 1e-6 (the operators' alarm level, §2).
+	Threshold float64
+	// ClearFactor scales the threshold for the recovery transition
+	// (hysteresis): a link clears only when its rate falls below
+	// Threshold×ClearFactor. Default 0.1, so a link flapping around the
+	// threshold does not generate an event storm.
+	ClearFactor float64
+	// MinPackets is the minimum per-direction packet delta for a rate to
+	// be meaningful; intervals with less traffic are skipped (a drained
+	// or idle link tells us nothing). Default 1000.
+	MinPackets uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 1e-6
+	}
+	if c.ClearFactor == 0 {
+		c.ClearFactor = 0.1
+	}
+	if c.MinPackets == 0 {
+		c.MinPackets = 1000
+	}
+}
+
+// Detector tracks per-link detection state across polls.
+type Detector struct {
+	cfg    Config
+	source Source
+	links  []topology.LinkID
+	last   map[topology.LinkID]Reading
+	state  map[topology.LinkID]bool // true = currently flagged corrupting
+}
+
+// New returns a Detector polling the given links from source.
+func New(source Source, links []topology.LinkID, cfg Config) (*Detector, error) {
+	if source == nil {
+		return nil, fmt.Errorf("detector: nil source")
+	}
+	cfg.fillDefaults()
+	return &Detector{
+		cfg:    cfg,
+		source: source,
+		links:  append([]topology.LinkID(nil), links...),
+		last:   make(map[topology.LinkID]Reading, len(links)),
+		state:  make(map[topology.LinkID]bool),
+	}, nil
+}
+
+// Poll reads every link once and returns the state-transition events since
+// the previous poll. The first poll only establishes baselines and returns
+// no events.
+func (d *Detector) Poll() ([]Event, error) {
+	var events []Event
+	for _, l := range d.links {
+		cur, err := d.source.Read(l)
+		if err != nil {
+			return events, fmt.Errorf("detector: link %d: %w", l, err)
+		}
+		prev, seen := d.last[l]
+		d.last[l] = cur
+		if !seen {
+			continue
+		}
+		rate, ok := worstRate(prev, cur, d.cfg.MinPackets)
+		if !ok {
+			continue
+		}
+		flagged := d.state[l]
+		switch {
+		case !flagged && rate >= d.cfg.Threshold:
+			d.state[l] = true
+			events = append(events, Event{Link: l, Corrupting: true, Rate: rate})
+		case flagged && rate < d.cfg.Threshold*d.cfg.ClearFactor:
+			d.state[l] = false
+			events = append(events, Event{Link: l, Corrupting: false, Rate: rate})
+		}
+	}
+	return events, nil
+}
+
+// Flagged reports whether the detector currently considers l corrupting.
+func (d *Detector) Flagged(l topology.LinkID) bool { return d.state[l] }
+
+// worstRate derives the worst-direction loss rate from two consecutive
+// readings. Counter resets (cur < prev, e.g. a switch reboot) discard the
+// interval rather than producing a bogus huge delta.
+func worstRate(prev, cur Reading, minPackets uint64) (float64, bool) {
+	worst := 0.0
+	any := false
+	for dir := 0; dir < 2; dir++ {
+		if cur.Packets[dir] < prev.Packets[dir] || cur.Errors[dir] < prev.Errors[dir] {
+			continue // counter reset
+		}
+		dp := cur.Packets[dir] - prev.Packets[dir]
+		de := cur.Errors[dir] - prev.Errors[dir]
+		if dp < minPackets {
+			continue
+		}
+		any = true
+		if r := float64(de) / float64(dp); r > worst {
+			worst = r
+		}
+	}
+	return worst, any
+}

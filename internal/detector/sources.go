@@ -1,0 +1,57 @@
+package detector
+
+import (
+	"time"
+
+	"corropt/internal/snmplite"
+	"corropt/internal/telemetry"
+	"corropt/internal/topology"
+)
+
+// CollectorSource adapts an in-process telemetry.Collector.
+func CollectorSource(c *telemetry.Collector) Source {
+	return SourceFunc(func(l topology.LinkID) (Reading, error) {
+		ctr := c.Counters(l)
+		return Reading{
+			Link:    l,
+			Packets: ctr.Packets,
+			Errors:  ctr.Errors,
+		}, nil
+	})
+}
+
+// SNMPSource polls counters over the snmplite wire protocol, the way the
+// production monitoring system reaches switches it does not share a
+// process with.
+func SNMPSource(addr string, timeout time.Duration, retries int) (Source, func() error, error) {
+	cli, err := snmplite.Dial(addr, timeout, retries)
+	if err != nil {
+		return nil, nil, err
+	}
+	src := SourceFunc(func(l topology.LinkID) (Reading, error) {
+		values, err := cli.Get([]snmplite.Query{
+			{Link: uint32(l), Counter: snmplite.CounterPacketsUp},
+			{Link: uint32(l), Counter: snmplite.CounterPacketsDown},
+			{Link: uint32(l), Counter: snmplite.CounterErrorsUp},
+			{Link: uint32(l), Counter: snmplite.CounterErrorsDown},
+		})
+		if err != nil {
+			return Reading{}, err
+		}
+		r := Reading{Link: l}
+		for _, v := range values {
+			switch v.Counter {
+			case snmplite.CounterPacketsUp:
+				r.Packets[0] = v.Value
+			case snmplite.CounterPacketsDown:
+				r.Packets[1] = v.Value
+			case snmplite.CounterErrorsUp:
+				r.Errors[0] = v.Value
+			case snmplite.CounterErrorsDown:
+				r.Errors[1] = v.Value
+			}
+		}
+		return r, nil
+	})
+	return src, cli.Close, nil
+}

@@ -1,0 +1,94 @@
+package ethernet
+
+import (
+	"math"
+
+	"corropt/internal/rngutil"
+)
+
+// Channel transmits wire frames through a medium with independent bit
+// errors — the physical process behind every corruption root cause of §4:
+// whether the light is attenuated by a dirty connector or the decoder
+// misreads a marginal signal, the observable outcome is flipped bits and a
+// failed FCS at the receiver.
+type Channel struct {
+	// BER is the independent per-bit error probability.
+	BER float64
+	rng *rngutil.Source
+
+	// Counters mirror the SNMP counters a switch keeps.
+	Transmitted uint64
+	Delivered   uint64
+	Corrupted   uint64
+}
+
+// NewChannel returns a channel with the given bit error rate.
+func NewChannel(ber float64, rng *rngutil.Source) *Channel {
+	if ber < 0 {
+		ber = 0
+	}
+	if ber > 1 {
+		ber = 1
+	}
+	return &Channel{BER: ber, rng: rng}
+}
+
+// Transmit sends one wire frame through the channel, flipping bits
+// independently with probability BER, and returns what the receiver sees.
+// The input is not modified.
+func (c *Channel) Transmit(wire []byte) []byte {
+	c.Transmitted++
+	out := append([]byte(nil), wire...)
+	if c.BER == 0 {
+		return out
+	}
+	// Sampling the number of errors first keeps the cost proportional to
+	// the (tiny) expected error count instead of the frame size: the gap
+	// to the next flipped bit is geometric with parameter BER.
+	nBits := 8 * len(out)
+	pos := c.nextGap()
+	for pos < nBits {
+		out[pos/8] ^= 1 << (uint(pos) % 8)
+		pos += 1 + c.nextGap()
+	}
+	return out
+}
+
+// nextGap draws a geometric gap (number of intact bits before the next
+// error) with parameter BER.
+func (c *Channel) nextGap() int {
+	// Inverse-CDF sampling: floor(ln(U)/ln(1-BER)).
+	u := c.rng.Float64()
+	if u == 0 {
+		u = 1e-300
+	}
+	if c.BER >= 1 {
+		return 0
+	}
+	g := int(math.Log(u) / math.Log(1-c.BER))
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// Receive runs the receiver side: FCS verification and the drop decision,
+// updating the delivered/corrupted counters the monitoring plane polls.
+func (c *Channel) Receive(wire []byte) (*Frame, error) {
+	f, err := Unmarshal(wire)
+	if err != nil {
+		c.Corrupted++
+		return nil, err
+	}
+	c.Delivered++
+	return f, nil
+}
+
+// ObservedLossRate reports corrupted/transmitted, the quantity SNMP-based
+// monitoring derives from the error and total counters.
+func (c *Channel) ObservedLossRate() float64 {
+	if c.Transmitted == 0 {
+		return 0
+	}
+	return float64(c.Corrupted) / float64(c.Transmitted)
+}

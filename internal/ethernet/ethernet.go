@@ -1,0 +1,128 @@
+// Package ethernet implements the frame-level mechanics behind the paper's
+// definition of packet corruption (§1): "packet corruption occurs when the
+// receiver cannot correctly decode transmitted bits. Such decoding errors
+// cause the cyclic redundancy check in the Ethernet frame to fail and force
+// the receiver to drop the packet."
+//
+// It provides Ethernet II framing with the IEEE CRC-32 frame check
+// sequence, a bit-error channel that corrupts frames at a configurable BER,
+// and the conversions between bit error rate and frame corruption rate that
+// tie the optical-margin model to the loss rates the rest of the system
+// reasons about.
+package ethernet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Frame sizes per IEEE 802.3.
+const (
+	// HeaderLen is destination MAC + source MAC + EtherType.
+	HeaderLen = 14
+	// FCSLen is the CRC-32 frame check sequence.
+	FCSLen = 4
+	// MinPayload pads short frames to the 64-byte minimum on the wire.
+	MinPayload = 46
+	// MaxPayload is the standard (non-jumbo) MTU.
+	MaxPayload = 1500
+)
+
+// MAC is a 48-bit hardware address.
+type MAC [6]byte
+
+// String renders the conventional colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Frame is an Ethernet II frame before serialization.
+type Frame struct {
+	Dst, Src  MAC
+	EtherType uint16
+	Payload   []byte
+}
+
+// Errors returned by Unmarshal.
+var (
+	ErrTooShort   = errors.New("ethernet: frame shorter than header + FCS")
+	ErrTooLong    = errors.New("ethernet: payload exceeds MTU")
+	ErrBadFCS     = errors.New("ethernet: frame check sequence mismatch")
+	errNilPayload = errors.New("ethernet: nil payload")
+)
+
+// Marshal serializes the frame, padding the payload to the 64-byte minimum
+// and appending the CRC-32 FCS — the checksum whose failure defines a
+// corrupted packet.
+func (f *Frame) Marshal() ([]byte, error) {
+	if f.Payload == nil {
+		return nil, errNilPayload
+	}
+	if len(f.Payload) > MaxPayload {
+		return nil, ErrTooLong
+	}
+	payLen := len(f.Payload)
+	if payLen < MinPayload {
+		payLen = MinPayload
+	}
+	buf := make([]byte, HeaderLen+payLen+FCSLen)
+	copy(buf[0:6], f.Dst[:])
+	copy(buf[6:12], f.Src[:])
+	binary.BigEndian.PutUint16(buf[12:14], f.EtherType)
+	copy(buf[HeaderLen:], f.Payload)
+	fcs := crc32.ChecksumIEEE(buf[:HeaderLen+payLen])
+	binary.LittleEndian.PutUint32(buf[HeaderLen+payLen:], fcs)
+	return buf, nil
+}
+
+// Unmarshal parses and verifies a wire frame. A frame whose FCS does not
+// match is the corruption event the switch counters count; it returns
+// ErrBadFCS.
+func Unmarshal(wire []byte) (*Frame, error) {
+	if len(wire) < HeaderLen+MinPayload+FCSLen {
+		return nil, ErrTooShort
+	}
+	body := wire[:len(wire)-FCSLen]
+	want := binary.LittleEndian.Uint32(wire[len(wire)-FCSLen:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, ErrBadFCS
+	}
+	f := &Frame{EtherType: binary.BigEndian.Uint16(wire[12:14])}
+	copy(f.Dst[:], wire[0:6])
+	copy(f.Src[:], wire[6:12])
+	f.Payload = append([]byte(nil), wire[HeaderLen:len(wire)-FCSLen]...)
+	return f, nil
+}
+
+// FrameLossRate converts a bit error rate into the probability that a
+// frame of the given wire length fails its CRC: any flipped bit corrupts
+// the frame (CRC-32 detects all 1–3 bit errors and virtually all longer
+// bursts at these sizes), so P(loss) = 1 - (1-BER)^bits.
+func FrameLossRate(ber float64, wireBytes int) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	if ber >= 1 {
+		return 1
+	}
+	bits := float64(8 * wireBytes)
+	return 1 - math.Pow(1-ber, bits)
+}
+
+// BERForLossRate inverts FrameLossRate: the bit error rate at which a
+// frame of the given wire length is lost with the target probability. This
+// is how a link's observed corruption rate maps back onto the physical
+// decoding-error rate the optics produce.
+func BERForLossRate(lossRate float64, wireBytes int) float64 {
+	if lossRate <= 0 {
+		return 0
+	}
+	if lossRate >= 1 {
+		return 1
+	}
+	bits := float64(8 * wireBytes)
+	return 1 - math.Pow(1-lossRate, 1/bits)
+}

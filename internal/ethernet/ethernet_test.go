@@ -1,0 +1,204 @@
+package ethernet
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"corropt/internal/rngutil"
+)
+
+func frame(n int) *Frame {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i * 31)
+	}
+	return &Frame{
+		Dst:       MAC{0x02, 0, 0, 0, 0, 1},
+		Src:       MAC{0x02, 0, 0, 0, 0, 2},
+		EtherType: 0x0800,
+		Payload:   p,
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 45, 46, 100, 1500} {
+		f := frame(n)
+		wire, err := f.Marshal()
+		if err != nil {
+			t.Fatalf("payload %d: %v", n, err)
+		}
+		got, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("payload %d: %v", n, err)
+		}
+		if got.Dst != f.Dst || got.Src != f.Src || got.EtherType != f.EtherType {
+			t.Fatalf("payload %d: header changed", n)
+		}
+		// Short payloads come back zero-padded to the minimum.
+		wantLen := n
+		if wantLen < MinPayload {
+			wantLen = MinPayload
+		}
+		if len(got.Payload) != wantLen {
+			t.Fatalf("payload %d: length %d, want %d", n, len(got.Payload), wantLen)
+		}
+		if !bytes.Equal(got.Payload[:n], f.Payload) {
+			t.Fatalf("payload %d: content changed", n)
+		}
+	}
+}
+
+func TestMarshalRejects(t *testing.T) {
+	f := frame(MaxPayload + 1)
+	if _, err := f.Marshal(); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("oversized: %v", err)
+	}
+	f = &Frame{}
+	if _, err := f.Marshal(); err == nil {
+		t.Fatal("nil payload accepted")
+	}
+}
+
+func TestUnmarshalRejects(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short: %v", err)
+	}
+	wire, _ := frame(100).Marshal()
+	wire[20] ^= 0x01
+	if _, err := Unmarshal(wire); !errors.Is(err, ErrBadFCS) {
+		t.Fatalf("corrupted frame: %v", err)
+	}
+}
+
+// TestCRCDetectsAllSingleBitFlips: the property that makes corruption
+// observable at all — any single decoding error fails the FCS.
+func TestCRCDetectsAllSingleBitFlips(t *testing.T) {
+	wire, _ := frame(64).Marshal()
+	for bit := 0; bit < 8*len(wire); bit++ {
+		flipped := append([]byte(nil), wire...)
+		flipped[bit/8] ^= 1 << (uint(bit) % 8)
+		if _, err := Unmarshal(flipped); !errors.Is(err, ErrBadFCS) {
+			t.Fatalf("flip of bit %d not detected: %v", bit, err)
+		}
+	}
+}
+
+func TestCRCDetectsBurstsProperty(t *testing.T) {
+	wire, _ := frame(256).Marshal()
+	f := func(a, b, c uint16) bool {
+		flipped := append([]byte(nil), wire...)
+		n := 8 * len(flipped)
+		for _, bit := range []int{int(a) % n, int(b) % n, int(c) % n} {
+			flipped[bit/8] ^= 1 << (uint(bit) % 8)
+		}
+		_, err := Unmarshal(flipped)
+		// Flips may cancel (duplicate positions); only a net-zero change
+		// may pass.
+		if bytes.Equal(flipped, wire) {
+			return err == nil
+		}
+		return errors.Is(err, ErrBadFCS)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameLossRate(t *testing.T) {
+	if FrameLossRate(0, 1000) != 0 || FrameLossRate(1, 1000) != 1 {
+		t.Fatal("boundary cases broken")
+	}
+	// For tiny BER, loss ≈ bits × BER.
+	got := FrameLossRate(1e-12, 1518)
+	want := 8 * 1518 * 1e-12
+	if math.Abs(got-want)/want > 1e-4 {
+		t.Fatalf("small-BER loss = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestBERInversionProperty(t *testing.T) {
+	f := func(r uint16, sz uint8) bool {
+		loss := float64(r) / 65536 // [0, 1)
+		bytes := 64 + int(sz)%1455
+		ber := BERForLossRate(loss, bytes)
+		back := FrameLossRate(ber, bytes)
+		return math.Abs(back-loss) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelLossMatchesAnalytic(t *testing.T) {
+	// A channel at the BER corresponding to a 1% frame loss must corrupt
+	// ≈1% of frames.
+	const target = 0.01
+	wire, _ := frame(1500).Marshal()
+	ber := BERForLossRate(target, len(wire))
+	ch := NewChannel(ber, rngutil.New(5))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		ch.Receive(ch.Transmit(wire))
+	}
+	got := ch.ObservedLossRate()
+	if got < target*0.8 || got > target*1.2 {
+		t.Fatalf("observed loss %v, want ≈ %v", got, target)
+	}
+	if ch.Delivered+ch.Corrupted != ch.Transmitted {
+		t.Fatal("counter mismatch")
+	}
+}
+
+func TestChannelZeroBERLossless(t *testing.T) {
+	wire, _ := frame(100).Marshal()
+	ch := NewChannel(0, rngutil.New(1))
+	for i := 0; i < 1000; i++ {
+		if _, err := ch.Receive(ch.Transmit(wire)); err != nil {
+			t.Fatalf("lossless channel corrupted a frame: %v", err)
+		}
+	}
+	if ch.Corrupted != 0 {
+		t.Fatal("corruption on a perfect channel")
+	}
+}
+
+func TestChannelDoesNotMutateInput(t *testing.T) {
+	wire, _ := frame(100).Marshal()
+	orig := append([]byte(nil), wire...)
+	ch := NewChannel(0.01, rngutil.New(2))
+	for i := 0; i < 100; i++ {
+		ch.Transmit(wire)
+	}
+	if !bytes.Equal(wire, orig) {
+		t.Fatal("Transmit mutated the input")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if got := m.String(); got != "de:ad:be:ef:00:01" {
+		t.Fatalf("MAC string = %q", got)
+	}
+}
+
+// TestEndToEndRateMapping closes the loop with the optics model: a target
+// Table 1 loss rate, converted to a BER, run through an actual bit-flipping
+// channel, must be observed back at the SNMP-style counters at the same
+// rate.
+func TestEndToEndRateMapping(t *testing.T) {
+	for _, target := range []float64{1e-3, 5e-3, 2e-2} {
+		wire, _ := frame(1500).Marshal()
+		ch := NewChannel(BERForLossRate(target, len(wire)), rngutil.New(uint64(target*1e6)))
+		n := int(200 / target)
+		for i := 0; i < n; i++ {
+			ch.Receive(ch.Transmit(wire))
+		}
+		got := ch.ObservedLossRate()
+		if got < target/2 || got > target*2 {
+			t.Fatalf("target %v: observed %v", target, got)
+		}
+	}
+}

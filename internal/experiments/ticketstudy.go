@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"corropt/internal/sim"
+	"corropt/internal/stats"
+)
+
+func init() {
+	register("ticketq", "§5.2 ticket economics: repair latency vs technician staffing", ticketq)
+}
+
+// ticketq reproduces the operational picture of §5.2: tickets wait in a
+// FIFO queue, one repair attempt averages two days, and "the exact time
+// needed for a fix depends on the number of tickets in the queue". We sweep
+// the technician pool size and measure time-to-repair and the corruption
+// penalty that queueing adds — the operational cost the recommendation
+// engine's higher accuracy (fewer re-repairs, §7.2) buys back.
+func ticketq(cfg Config) (*Report, error) {
+	r := &Report{
+		ID:     "ticketq",
+		Title:  "Repair latency and penalty vs technician staffing",
+		Header: []string{"technicians", "accuracy", "tickets", "mean_attempts", "integrated_penalty", "mean_disabled_links"},
+	}
+	// A single capacity-blocked high-rate link dominates one trace's
+	// penalty integral, so each cell averages several independent traces.
+	const reps = 5
+	type cell struct {
+		tickets, attempts, penalty, down float64
+	}
+	run := func(technicians int, accuracy float64) (cell, error) {
+		var c cell
+		for rep := 0; rep < reps; rep++ {
+			topo, trace, horizon, err := evalTrace(Config{Scale: cfg.Scale, Seed: cfg.Seed + uint64(rep)},
+				fmt.Sprintf("ticketq-%d", rep), cfg.Scale)
+			if err != nil {
+				return c, err
+			}
+			s, err := sim.New(topo, DefaultTech(), sim.Config{
+				Policy:        sim.PolicyCorrOpt,
+				Capacity:      0.75, // tight enough that queue depth costs penalty
+				FixedAccuracy: accuracy,
+				Technicians:   technicians,
+				ServiceTime:   48 * time.Hour,
+				Seed:          cfg.Seed + uint64(rep),
+			})
+			if err != nil {
+				return c, err
+			}
+			res, err := s.Run(trace, horizon)
+			if err != nil {
+				return c, err
+			}
+			var down []float64
+			for _, smp := range res.Samples {
+				down = append(down, float64(smp.Disabled))
+			}
+			c.tickets += float64(res.TicketsOpened) / reps
+			c.attempts += res.MeanAttempts / reps
+			c.penalty += res.IntegratedPenalty / reps
+			c.down += stats.Mean(down) / reps
+		}
+		return c, nil
+	}
+	for _, technicians := range []int{1, 2, 4, 0} {
+		for _, accuracy := range []float64{0.5, 0.8} {
+			c, err := run(technicians, accuracy)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%d", technicians)
+			if technicians == 0 {
+				label = "unlimited"
+			}
+			r.AddRow(label, fmt.Sprintf("%.0f%%", accuracy*100),
+				fmtF(c.tickets), fmtF(c.attempts), fmtF(c.penalty), fmtF(c.down))
+		}
+	}
+	r.AddNote("a small crew lets the backlog grow: links stay down longer (higher mean disabled count) and blocked corrupting links wait longer for the optimizer's capacity (higher penalty)")
+	r.AddNote("the 80%% accuracy column needs fewer repeat visits (mean attempts ≈ 1.2 vs ≈ 2.0), which is §7.2's point: accuracy is also a staffing multiplier")
+	return r, nil
+}

@@ -1,0 +1,69 @@
+package faults
+
+import (
+	"time"
+
+	"corropt/internal/optics"
+	"corropt/internal/topology"
+)
+
+// ID identifies a fault within one simulation.
+type ID int64
+
+// LinkEffect describes what a fault does to one link: extra optical loss per
+// direction, transmitter power decay per side, and direct corruption-rate
+// contributions for causes (bad transceiver, shared component) that corrupt
+// packets without disturbing the optical power levels.
+type LinkEffect struct {
+	Link topology.LinkID
+	// ExtraLossFrom[side] is excess attenuation added to the direction
+	// transmitted from that side, in dB.
+	ExtraLossFrom [2]optics.DB
+	// TxDecay[side] lowers the transmit power at that side, in dB.
+	TxDecay [2]optics.DB
+	// DirectRate[dir] adds corruption in the given direction independent
+	// of optics (topology.Up = 0, topology.Down = 1).
+	DirectRate [2]float64
+}
+
+// Fault is one corruption event: a root cause striking one or more links at
+// a point in simulated time. Shared-component faults carry several
+// LinkEffects; all other causes exactly one.
+type Fault struct {
+	ID    ID
+	Cause RootCause
+	Start time.Duration
+	// Effects lists the affected links. For SharedComponent faults all
+	// effects sit on the same switch with similar corruption rates.
+	Effects []LinkEffect
+	// Reseatable distinguishes loosely-seated transceivers (fixed by
+	// reseating) from genuinely bad ones (only replacement helps) for
+	// BadTransceiver faults; §4's repair guidance is to reseat first and
+	// replace if the issue persists.
+	Reseatable bool
+}
+
+// Links returns the ids of all links the fault touches.
+func (f *Fault) Links() []topology.LinkID {
+	out := make([]topology.LinkID, len(f.Effects))
+	for i, e := range f.Effects {
+		out[i] = e.Link
+	}
+	return out
+}
+
+// PeakRate returns the largest direct corruption-rate contribution across
+// the fault's effects; useful for ordering faults by severity in reports.
+// Optics-mediated corruption is not included because it depends on the
+// link's other active faults.
+func (f *Fault) PeakRate() float64 {
+	peak := 0.0
+	for _, e := range f.Effects {
+		for _, r := range e.DirectRate {
+			if r > peak {
+				peak = r
+			}
+		}
+	}
+	return peak
+}

@@ -1,0 +1,140 @@
+package optics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tech() Technology {
+	return Technology{Name: "test", NominalTx: 0, TxThreshold: -4, RxThreshold: -10, PathLoss: 3}
+}
+
+func TestHealthyLink(t *testing.T) {
+	l := NewLink(tech())
+	if l.TxPower(LowerSide) != 0 || l.TxPower(UpperSide) != 0 {
+		t.Fatal("nominal Tx not applied")
+	}
+	if rx := l.RxPower(UpperSide); rx != -3 {
+		t.Fatalf("Rx = %v, want -3 (nominal minus path loss)", rx)
+	}
+	if l.RxLow(LowerSide) || l.RxLow(UpperSide) || l.TxLow(LowerSide) || l.TxLow(UpperSide) {
+		t.Fatal("healthy link reports low power")
+	}
+	if m := l.Margin(UpperSide); m != 7 {
+		t.Fatalf("margin = %v, want 7", m)
+	}
+	if r := l.CorruptionRate(UpperSide); r >= 1e-8 {
+		t.Fatalf("healthy corruption rate = %v, want < 1e-8", r)
+	}
+}
+
+func TestContaminationIsUnidirectional(t *testing.T) {
+	l := NewLink(tech())
+	// Dirt on the up-direction path: Lower transmits into a dirty connector.
+	l.AddLoss(LowerSide, 12)
+	if !l.RxLow(UpperSide) {
+		t.Fatal("upper receiver should be starved")
+	}
+	if l.RxLow(LowerSide) {
+		t.Fatal("down direction should be unaffected")
+	}
+	// TxPower on both sides stays high (the §4 contamination signature).
+	if l.TxLow(LowerSide) || l.TxLow(UpperSide) {
+		t.Fatal("contamination must not alter transmit power")
+	}
+	if r := l.CorruptionRate(UpperSide); r < 1e-4 {
+		t.Fatalf("starved receiver corruption rate = %v, want high", r)
+	}
+}
+
+func TestFiberDamageHitsBothDirections(t *testing.T) {
+	l := NewLink(tech())
+	l.AddLoss(LowerSide, 10)
+	l.AddLoss(UpperSide, 10)
+	if !l.RxLow(LowerSide) || !l.RxLow(UpperSide) {
+		t.Fatal("both receivers should be starved after fiber damage")
+	}
+}
+
+func TestDecayingTransmitter(t *testing.T) {
+	l := NewLink(tech())
+	l.SetTxPower(LowerSide, -8) // Rx at upper = -8 - 3 = -11, below the -10 threshold
+	if !l.TxLow(LowerSide) {
+		t.Fatal("decayed transmitter not below threshold")
+	}
+	if !l.RxLow(UpperSide) {
+		t.Fatal("receiver fed by decayed transmitter should be low")
+	}
+	if l.RxLow(LowerSide) {
+		t.Fatal("reverse direction should be healthy")
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewLink(tech())
+	l.AddLoss(LowerSide, 10)
+	l.SetTxPower(UpperSide, -9)
+	l.Reset()
+	if l.RxLow(LowerSide) || l.RxLow(UpperSide) || l.TxLow(LowerSide) || l.TxLow(UpperSide) {
+		t.Fatal("Reset did not restore health")
+	}
+}
+
+func TestSideOpposite(t *testing.T) {
+	if LowerSide.Opposite() != UpperSide || UpperSide.Opposite() != LowerSide {
+		t.Fatal("Opposite broken")
+	}
+	if LowerSide.String() != "lower" || UpperSide.String() != "upper" {
+		t.Fatal("String broken")
+	}
+}
+
+func TestCorruptionRateMonotone(t *testing.T) {
+	// More margin never means more corruption.
+	f := func(a, b float64) bool {
+		ma, mb := DB(a), DB(b)
+		if ma > mb {
+			ma, mb = mb, ma
+		}
+		return CorruptionRateFromMargin(ma) >= CorruptionRateFromMargin(mb)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptionRateBounds(t *testing.T) {
+	for _, m := range []DB{-100, -10, -1, 0, 1, 10, 100} {
+		r := CorruptionRateFromMargin(m)
+		if r < 0 || r > 1 {
+			t.Fatalf("rate(%v) = %v out of [0,1]", m, r)
+		}
+	}
+	if r := CorruptionRateFromMargin(-20); r != 1 {
+		t.Fatalf("deep negative margin rate = %v, want saturation at 1", r)
+	}
+	if r := CorruptionRateFromMargin(0); r >= 1e-8 {
+		t.Fatalf("zero-margin rate = %v, want below lossy threshold", r)
+	}
+}
+
+func TestDefaultTechnologies(t *testing.T) {
+	techs := DefaultTechnologies()
+	if len(techs) == 0 {
+		t.Fatal("no default technologies")
+	}
+	seen := make(map[string]bool)
+	for _, tc := range techs {
+		if seen[tc.Name] {
+			t.Fatalf("duplicate technology %q", tc.Name)
+		}
+		seen[tc.Name] = true
+		if tc.RxThreshold >= tc.NominalTx-DBm(tc.PathLoss) {
+			t.Fatalf("technology %q has no healthy margin", tc.Name)
+		}
+		if tc.TxThreshold >= tc.NominalTx {
+			t.Fatalf("technology %q nominal Tx below its own threshold", tc.Name)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package rngutil
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	a := New(42).Split("faults")
+	b := New(42).Split("faults")
+	for i := 0; i < 100; i++ {
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("draw %d diverged: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(7)
+	a := root.Split("a")
+	b := root.Split("b")
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams %q and %q coincide on %d of 1000 draws", "a", "b", same)
+	}
+}
+
+func TestSplitIndexDistinct(t *testing.T) {
+	root := New(7)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		s := root.SplitIndex("link", i)
+		if seen[s.Seed()] {
+			t.Fatalf("duplicate derived seed at index %d", i)
+		}
+		seen[s.Seed()] = true
+	}
+}
+
+func TestSiblingParentsIndependent(t *testing.T) {
+	// Same sub-stream name under different parents must differ.
+	a := New(1).Split("x")
+	b := New(2).Split("x")
+	if a.Seed() == b.Seed() {
+		t.Fatal("sub-streams of different parents collide")
+	}
+}
+
+func TestBool(t *testing.T) {
+	s := New(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.23 || frac > 0.27 {
+		t.Fatalf("Bool(0.25) frequency = %v, want ~0.25", frac)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Range(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Range(2,5) produced %v", v)
+		}
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	s := New(5)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), xs...)
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 28 {
+		t.Fatalf("Shuffle lost elements: %v (was %v)", xs, orig)
+	}
+}
+
+func TestScalarDraws(t *testing.T) {
+	s := New(6)
+	if v := s.Int63(); v < 0 {
+		t.Fatalf("Int63 negative: %d", v)
+	}
+	if v := s.ExpFloat64(); v < 0 {
+		t.Fatalf("ExpFloat64 negative: %v", v)
+	}
+	if v := s.NormFloat64(); v != v { // NaN check
+		t.Fatal("NormFloat64 NaN")
+	}
+	if s.Seed() != 6 {
+		t.Fatalf("Seed = %d", s.Seed())
+	}
+	if n := s.Intn(3); n < 0 || n >= 3 {
+		t.Fatalf("Intn out of range: %d", n)
+	}
+}

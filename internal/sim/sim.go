@@ -1,0 +1,593 @@
+// Package sim drives the trace-based mitigation simulations of §7: a fault
+// trace replays against a topology while a mitigation policy (switch-local,
+// fast checker only, or full CorrOpt) decides which corrupting links to
+// disable; disabled links queue for repair; repairs succeed per the chosen
+// repair model; re-enabled links trigger re-optimization. The simulator
+// samples total penalty per second, the worst ToR's available-path
+// fraction, and ticket statistics — the series behind Figures 14–19.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"corropt/internal/core"
+	"corropt/internal/faults"
+	"corropt/internal/optics"
+	"corropt/internal/rngutil"
+	"corropt/internal/simclock"
+	"corropt/internal/tickets"
+	"corropt/internal/topology"
+)
+
+// PolicyKind selects the link-disabling strategy under test.
+type PolicyKind int
+
+const (
+	// PolicyNone never disables links; the do-nothing baseline that
+	// calibrates how much any mitigation helps (the paper estimates
+	// corruption losses would be two orders of magnitude higher without
+	// automatic disabling, §2).
+	PolicyNone PolicyKind = iota
+	// PolicySwitchLocal is the production baseline: a link may go down
+	// only if its switch keeps c^(1/r) of its uplinks.
+	PolicySwitchLocal
+	// PolicyFastOnly runs CorrOpt's fast checker for new corrupting links
+	// and re-runs it (instead of the optimizer) on activations.
+	PolicyFastOnly
+	// PolicyCorrOpt is the full system: fast checker on arrival, global
+	// optimizer on activation.
+	PolicyCorrOpt
+)
+
+// String implements fmt.Stringer.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicySwitchLocal:
+		return "switch-local"
+	case PolicyFastOnly:
+		return "fast-only"
+	case PolicyCorrOpt:
+		return "corropt"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+// RepairMode selects how repair outcomes are decided.
+type RepairMode int
+
+const (
+	// RepairFixedAccuracy resolves each attempt successfully with a fixed
+	// probability, the model §7.1 uses (80% with CorrOpt's
+	// recommendations, 50% without).
+	RepairFixedAccuracy RepairMode = iota
+	// RepairRecommendation plays the full loop: Algorithm 1 diagnoses the
+	// symptoms, a technician follows or ignores the recommendation, and
+	// the attempt succeeds only if the action taken fixes the true root
+	// cause (§7.2).
+	RepairRecommendation
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Capacity is the per-ToR constraint c; default 0.75 (the realistic
+	// regime the paper highlights).
+	Capacity float64
+	// Policy is the link-disabling strategy; default PolicyCorrOpt.
+	Policy PolicyKind
+	// DetectionThreshold is the corruption rate that triggers
+	// mitigation; default core.DefaultDetectionThreshold.
+	DetectionThreshold float64
+	// DetectionDelay is how long corruption runs before the controller
+	// reacts — in production the SNMP poll interval plus alarm latency.
+	// During the delay the link keeps corrupting application traffic,
+	// which is the main way packets are lost to corruption even with
+	// mitigation deployed (§2). Default 0 (instant detection).
+	DetectionDelay time.Duration
+	// Repair selects the repair model.
+	Repair RepairMode
+	// FixedAccuracy is the per-attempt success probability under
+	// RepairFixedAccuracy; default 0.8.
+	FixedAccuracy float64
+	// IgnoreProb is the probability technicians ignore a recommendation
+	// under RepairRecommendation (the early deployment measured ~30%,
+	// §7.2); default 0 — recommendations are followed.
+	IgnoreProb float64
+	// UseDeployedEngine swaps in the simplified deployed recommendation
+	// engine (§7.2) instead of full Algorithm 1.
+	UseDeployedEngine bool
+	// NoOpticsFraction is the fraction of links whose switches expose no
+	// optical power data, so their tickets carry no recommendation (§7.2:
+	// "we cannot get optical power information from all types of
+	// switches"). Default 0.
+	NoOpticsFraction float64
+	// DrainMode enables the §8 extension "removing traffic instead of
+	// disabling links": a mitigated link is drained (routing cost raised)
+	// rather than shut down, so monitoring keeps flowing and a repair can
+	// be verified with test traffic before the link carries real load
+	// again. A failed repair is then detected without re-exposing
+	// applications, eliminating the Figure 12 re-enable/re-corrupt cycle.
+	DrainMode bool
+	// RepairCollateral models the §8 observation that repairing one link
+	// of a breakout cable takes its (healthy) sibling links down for the
+	// duration of the repair.
+	RepairCollateral bool
+	// TechAssign optionally assigns per-link transceiver technologies
+	// (real fabrics mix 10G/40G/100G optics with different power
+	// thresholds); nil uses the technology passed to New for every link.
+	TechAssign func(topology.LinkID) optics.Technology
+	// ServiceTime is one repair attempt's duration; default 48h.
+	ServiceTime time.Duration
+	// Technicians bounds concurrent repairs; 0 = unlimited.
+	Technicians int
+	// SampleInterval is the penalty sampling cadence; default 1h.
+	SampleInterval time.Duration
+	// Penalty is the impact function; default core.LinearPenalty.
+	Penalty core.PenaltyFunc
+	// Optimizer tunes PolicyCorrOpt's second phase.
+	Optimizer core.OptimizerConfig
+	// Seed drives repair-outcome randomness.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Capacity == 0 {
+		c.Capacity = 0.75
+	}
+	if c.DetectionThreshold == 0 {
+		c.DetectionThreshold = core.DefaultDetectionThreshold
+	}
+	if c.FixedAccuracy == 0 {
+		c.FixedAccuracy = 0.8
+	}
+	if c.ServiceTime == 0 {
+		c.ServiceTime = 48 * time.Hour
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = time.Hour
+	}
+	if c.Penalty == nil {
+		c.Penalty = core.LinearPenalty
+	}
+}
+
+// Sample is one point of the simulation's output series.
+type Sample struct {
+	At time.Duration
+	// Penalty is Σ (1-d_l)·I(f_l) at this instant (penalty per second
+	// under the linear I).
+	Penalty float64
+	// WorstToRFraction and MeanToRFraction are the available-path
+	// fractions of Figures 15/16 and §7.3.
+	WorstToRFraction float64
+	MeanToRFraction  float64
+	// ActiveCorrupting counts enabled links over the detection threshold.
+	ActiveCorrupting int
+	// Disabled counts administratively-down links.
+	Disabled int
+}
+
+// Result aggregates one run.
+type Result struct {
+	Samples []Sample
+	// IntegratedPenalty is ∫ penalty dt over the horizon, in
+	// penalty·seconds — the quantity Figure 17 takes ratios of. The
+	// integral is exact (advanced at every penalty-changing event), so
+	// exposure windows shorter than the sample interval are included.
+	IntegratedPenalty float64
+	// PenaltyPerDay is the same integral bucketed by simulated day;
+	// multiplied by utilization × line rate it yields packets lost per
+	// day to corruption (Figure 1's quantity).
+	PenaltyPerDay []float64
+	// TicketsOpened counts repair attempts; LinksDisabled counts disable
+	// actions (both directions count once).
+	TicketsOpened, LinksDisabled int
+	// FirstAttemptSuccessRate and MeanAttempts summarize repairs.
+	FirstAttemptSuccessRate float64
+	MeanAttempts            float64
+	// UndisabledEvents counts corruption reports the policy had to leave
+	// active due to capacity constraints (§5.1 reports up to 15% in
+	// realistic configurations).
+	UndisabledEvents int
+	// CorruptionReports counts above-threshold corruption reports.
+	CorruptionReports int
+}
+
+// policy abstracts the three strategies behind a uniform interface.
+type policy interface {
+	// tryDisable attempts to disable l, returning success.
+	tryDisable(l topology.LinkID) bool
+	// onActivation is invoked after a link was re-enabled; it returns any
+	// additional links disabled in response.
+	onActivation() []topology.LinkID
+}
+
+type nonePolicy struct{}
+
+func (nonePolicy) tryDisable(topology.LinkID) bool { return false }
+func (nonePolicy) onActivation() []topology.LinkID { return nil }
+
+type switchLocalPolicy struct {
+	sl        *core.SwitchLocal
+	threshold float64
+}
+
+func (p *switchLocalPolicy) tryDisable(l topology.LinkID) bool { return p.sl.DisableIfSafe(l) }
+func (p *switchLocalPolicy) onActivation() []topology.LinkID   { return p.sl.Sweep(p.threshold) }
+
+type fastOnlyPolicy struct {
+	fc        *core.FastChecker
+	threshold float64
+}
+
+func (p *fastOnlyPolicy) tryDisable(l topology.LinkID) bool { return p.fc.DisableIfSafe(l) }
+func (p *fastOnlyPolicy) onActivation() []topology.LinkID   { return p.fc.Sweep(p.threshold) }
+
+type corrOptPolicy struct {
+	fc        *core.FastChecker
+	opt       *core.Optimizer
+	threshold float64
+}
+
+func (p *corrOptPolicy) tryDisable(l topology.LinkID) bool { return p.fc.DisableIfSafe(l) }
+func (p *corrOptPolicy) onActivation() []topology.LinkID {
+	disabled, _ := p.opt.Run(p.threshold)
+	return disabled
+}
+
+// Sim is one configured simulation.
+type Sim struct {
+	cfg    Config
+	topo   *topology.Topology
+	state  *faults.State
+	net    *core.Network
+	pol    policy
+	queue  *tickets.Queue
+	tech   *tickets.Technician
+	clock  *simclock.Clock
+	rng    *rngutil.Source
+	result Result
+
+	// reseated tracks links whose transceiver was reseated since the last
+	// successful repair (Algorithm 1's history input).
+	reseated map[topology.LinkID]bool
+	// ticketed marks links with an open ticket so overlapping faults on a
+	// disabled link do not double-book repairs.
+	ticketed map[topology.LinkID]bool
+	// collateral counts, per healthy link, how many in-progress breakout
+	// repairs are holding it down (RepairCollateral mode).
+	collateral map[topology.LinkID]int
+
+	// Exact penalty integration: lastPenalty held since lastAccrueAt; the
+	// integral advances at every penalty-changing event, not just at
+	// sample instants, so sub-sample exposure windows (e.g. the detection
+	// delay) are accounted for exactly.
+	lastAccrueAt time.Duration
+	lastPenalty  float64
+}
+
+// New builds a simulation over the topology and transceiver technology.
+func New(topo *topology.Topology, tech optics.Technology, cfg Config) (*Sim, error) {
+	cfg.fillDefaults()
+	net, err := core.NewNetwork(topo, cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	assign := cfg.TechAssign
+	if assign == nil {
+		assign = func(topology.LinkID) optics.Technology { return tech }
+	}
+	s := &Sim{
+		cfg:        cfg,
+		topo:       topo,
+		state:      faults.NewMultiTechState(topo, assign),
+		net:        net,
+		queue:      tickets.NewQueue(tickets.QueueConfig{ServiceTime: cfg.ServiceTime, Technicians: cfg.Technicians}),
+		clock:      simclock.New(),
+		rng:        rngutil.New(cfg.Seed).Split("sim"),
+		reseated:   make(map[topology.LinkID]bool),
+		ticketed:   make(map[topology.LinkID]bool),
+		collateral: make(map[topology.LinkID]int),
+	}
+	s.tech = tickets.NewTechnician(1-cfg.IgnoreProb, s.rng.Split("technician"))
+	switch cfg.Policy {
+	case PolicyNone:
+		s.pol = nonePolicy{}
+	case PolicySwitchLocal:
+		sl, err := core.NewSwitchLocal(net, cfg.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		s.pol = &switchLocalPolicy{sl: sl, threshold: cfg.DetectionThreshold}
+	case PolicyFastOnly:
+		s.pol = &fastOnlyPolicy{fc: core.NewFastChecker(net), threshold: cfg.DetectionThreshold}
+	case PolicyCorrOpt:
+		s.pol = &corrOptPolicy{
+			fc:        core.NewFastChecker(net),
+			opt:       core.NewOptimizer(net, cfg.Penalty, cfg.Optimizer),
+			threshold: cfg.DetectionThreshold,
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown policy %v", cfg.Policy)
+	}
+	return s, nil
+}
+
+// Network exposes the simulated network state (read-only use expected).
+func (s *Sim) Network() *core.Network { return s.net }
+
+// State exposes the ground-truth fault state.
+func (s *Sim) State() *faults.State { return s.state }
+
+// Run replays the fault trace until horizon and returns the result.
+func (s *Sim) Run(trace []*faults.Fault, horizon time.Duration) (*Result, error) {
+	for _, f := range trace {
+		f := f
+		if f.Start >= horizon {
+			break
+		}
+		if _, err := s.clock.At(f.Start, func(now time.Duration) { s.onFault(f, now) }); err != nil {
+			return nil, fmt.Errorf("sim: trace not sorted: %w", err)
+		}
+	}
+	s.clock.Every(s.cfg.SampleInterval, s.sample)
+	s.sample(0)
+	s.clock.RunUntil(horizon)
+	// Close the penalty integral at the horizon.
+	s.accrue(horizon)
+	s.result.FirstAttemptSuccessRate = s.queue.FirstAttemptSuccessRate()
+	s.result.MeanAttempts = s.queue.MeanAttempts()
+	return &s.result, nil
+}
+
+// syncRate mirrors ground truth into the policy-visible network record.
+func (s *Sim) syncRate(l topology.LinkID) {
+	rate := s.state.WorstRate(l)
+	if rate < 1e-8 {
+		rate = 0
+	}
+	s.net.SetCorruption(l, rate)
+}
+
+// accrue advances the penalty integral to now; callers mutate state after.
+func (s *Sim) accrue(now time.Duration) {
+	s.result.IntegratedPenalty += s.lastPenalty * (now - s.lastAccrueAt).Seconds()
+	// Bucket by day, splitting intervals across midnight boundaries.
+	const day = 24 * time.Hour
+	for at := s.lastAccrueAt; at < now; {
+		end := (at/day + 1) * day
+		if end > now {
+			end = now
+		}
+		d := int(at / day)
+		for len(s.result.PenaltyPerDay) <= d {
+			s.result.PenaltyPerDay = append(s.result.PenaltyPerDay, 0)
+		}
+		s.result.PenaltyPerDay[d] += s.lastPenalty * (end - at).Seconds()
+		at = end
+	}
+	s.lastAccrueAt = now
+}
+
+// settle records the post-mutation penalty level.
+func (s *Sim) settle() {
+	s.lastPenalty = s.net.TotalPenalty(s.cfg.Penalty)
+}
+
+func (s *Sim) onFault(f *faults.Fault, now time.Duration) {
+	s.accrue(now)
+	defer s.settle()
+	s.state.Apply(f)
+	for _, l := range f.Links() {
+		l := l
+		s.syncRate(l)
+		if s.cfg.DetectionDelay > 0 {
+			s.clock.After(s.cfg.DetectionDelay, func(at time.Duration) {
+				s.accrue(at)
+				defer s.settle()
+				s.syncRate(l) // the fault may have evolved meanwhile
+				s.detect(l, at)
+			})
+		} else {
+			s.detect(l, now)
+		}
+	}
+}
+
+// detect reacts to link l possibly being over the detection threshold.
+func (s *Sim) detect(l topology.LinkID, now time.Duration) {
+	if s.net.Disabled(l) || s.net.CorruptionRate(l) < s.cfg.DetectionThreshold {
+		return
+	}
+	s.result.CorruptionReports++
+	if s.pol.tryDisable(l) {
+		s.result.LinksDisabled++
+		s.openTicket(l, now)
+	} else {
+		s.result.UndisabledEvents++
+	}
+}
+
+// openTicket books a repair for the (just disabled) link l.
+func (s *Sim) openTicket(l topology.LinkID, now time.Duration) {
+	if s.ticketed[l] {
+		return
+	}
+	s.ticketed[l] = true
+	rec := faults.ActionUnknown
+	if s.cfg.Repair == RepairRecommendation && !s.noOptics(l) {
+		if d, ok := core.DiagnoseState(s.state, l, s.cfg.DetectionThreshold, s.reseated[l]); ok {
+			if s.cfg.UseDeployedEngine {
+				rec = core.RecommendDeployed(d)
+			} else {
+				rec = core.Recommend(d)
+			}
+		}
+	}
+	tk, done := s.queue.Open(l, rec, now)
+	s.result.TicketsOpened++
+	if s.cfg.RepairCollateral {
+		// Working on one link of a breakout cable takes its healthy
+		// siblings down for the duration of the repair (§8).
+		for _, sib := range s.topo.SameBreakout(l) {
+			if sib == l || s.net.Disabled(sib) {
+				continue
+			}
+			s.collateral[sib]++
+			s.net.Disable(sib)
+		}
+	}
+	s.clock.After(done-now, func(at time.Duration) { s.completeRepair(tk, at) })
+}
+
+// releaseCollateral re-enables healthy siblings held down by l's repair.
+func (s *Sim) releaseCollateral(l topology.LinkID) {
+	if !s.cfg.RepairCollateral {
+		return
+	}
+	for _, sib := range s.topo.SameBreakout(l) {
+		if sib == l || s.collateral[sib] == 0 {
+			continue
+		}
+		s.collateral[sib]--
+		if s.collateral[sib] == 0 {
+			delete(s.collateral, sib)
+			s.net.Enable(sib)
+		}
+	}
+}
+
+// completeRepair finishes a repair attempt: decide the action and its
+// outcome, update ground truth, re-enable the link, and let the policy
+// react to the activation.
+func (s *Sim) completeRepair(tk *tickets.Ticket, now time.Duration) {
+	s.accrue(now)
+	defer s.settle()
+	l := tk.Link
+	action := faults.ActionUnknown
+	switch s.cfg.Repair {
+	case RepairFixedAccuracy:
+		if s.rng.Bool(s.cfg.FixedAccuracy) {
+			s.state.RepairLink(l)
+		}
+	case RepairRecommendation:
+		action = s.tech.ChooseAction(tk, s.primaryCause(l))
+		s.applyAction(l, action)
+	}
+	s.syncRate(l)
+	success := s.net.CorruptionRate(l) < s.cfg.DetectionThreshold
+	if err := s.queue.Resolve(tk, now, action, success); err != nil {
+		panic(err) // tickets are owned solely by the sim; double resolution is a bug
+	}
+	delete(s.ticketed, l)
+	if success {
+		delete(s.reseated, l)
+	}
+	s.releaseCollateral(l)
+
+	if !success {
+		if s.cfg.DrainMode {
+			// §8 extension: the link was only drained, so test traffic
+			// exposes the failed repair without ever putting application
+			// traffic back on it — no corruption exposure, straight to
+			// the next attempt.
+			s.openTicket(l, now)
+			return
+		}
+		// Figure 12's loop: the link corrupts as soon as it is enabled,
+		// monitoring re-detects it (after the usual polling latency, with
+		// application traffic exposed meanwhile), and a fresh ticket adds
+		// two more days.
+		s.net.Enable(l)
+		if s.cfg.DetectionDelay > 0 {
+			s.clock.After(s.cfg.DetectionDelay, func(at time.Duration) {
+				s.accrue(at)
+				defer s.settle()
+				s.syncRate(l)
+				s.detect(l, at)
+			})
+		} else {
+			s.detect(l, now)
+		}
+		return
+	}
+	// A real activation: the policy may now disable other corrupting
+	// links that previously had to stay up.
+	s.net.Enable(l)
+	for _, nl := range s.pol.onActivation() {
+		s.result.LinksDisabled++
+		s.openTicket(nl, now)
+	}
+}
+
+// noOptics reports whether link l's switches expose no optical power data;
+// the assignment is deterministic per link so one switch type covers whole
+// regions consistently.
+func (s *Sim) noOptics(l topology.LinkID) bool {
+	if s.cfg.NoOpticsFraction <= 0 {
+		return false
+	}
+	// Deterministic hash of (seed, link) into [0,1).
+	x := uint64(l)*0x9e3779b97f4a7c15 + s.cfg.Seed
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return float64(x%1000)/1000 < s.cfg.NoOpticsFraction
+}
+
+// primaryCause returns the root cause of the worst active fault on l, the
+// condition a technician physically encounters.
+func (s *Sim) primaryCause(l topology.LinkID) faults.RootCause {
+	var cause faults.RootCause
+	bestRate := -1.0
+	for _, f := range s.state.ActiveFaults(l) {
+		r := f.PeakRate()
+		if r > bestRate {
+			bestRate = r
+			cause = f.Cause
+		}
+	}
+	return cause
+}
+
+// applyAction updates ground truth for a concrete repair action: it fixes
+// exactly the faults the action addresses. Replacing a shared component
+// repairs the whole fault across links; everything else is link-scoped.
+func (s *Sim) applyAction(l topology.LinkID, action faults.RepairAction) {
+	if action == faults.ActionReseatTransceiver {
+		s.reseated[l] = true
+	}
+	active := append([]*faults.Fault(nil), s.state.ActiveFaults(l)...)
+	for _, f := range active {
+		if !tickets.ActionFixesFault(action, f) {
+			continue
+		}
+		if f.Cause == faults.SharedComponent && action == faults.ActionReplaceSharedComponent {
+			links := f.Links()
+			s.state.Clear(f.ID)
+			for _, fl := range links {
+				s.syncRate(fl)
+			}
+		} else {
+			s.state.SuppressLinkEffect(f.ID, l)
+		}
+	}
+}
+
+// sample records one output point.
+func (s *Sim) sample(now time.Duration) {
+	s.accrue(now)
+	p := s.net.TotalPenalty(s.cfg.Penalty)
+	s.lastPenalty = p
+	s.result.Samples = append(s.result.Samples, Sample{
+		At:               now,
+		Penalty:          p,
+		WorstToRFraction: s.net.WorstToRFraction(),
+		MeanToRFraction:  s.net.MeanToRFraction(),
+		ActiveCorrupting: len(s.net.ActiveCorrupting(s.cfg.DetectionThreshold)),
+		Disabled:         s.net.NumDisabled(),
+	})
+}

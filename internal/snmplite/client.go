@@ -1,0 +1,189 @@
+package snmplite
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"corropt/internal/telemetry"
+	"corropt/internal/topology"
+)
+
+// Client polls an snmplite server. It retries lost datagrams and matches
+// responses to requests by id, ignoring stale replies. A Client is safe for
+// sequential use only.
+type Client struct {
+	conn    net.Conn
+	timeout time.Duration
+	retries int
+	nextID  uint32
+	buf     []byte
+}
+
+// Dial connects a client to the server at addr. timeout is the per-attempt
+// response deadline (default 500ms) and retries the number of
+// retransmissions after the first attempt (default 3).
+func Dial(addr string, timeout time.Duration, retries int) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 500 * time.Millisecond
+	}
+	if retries < 0 {
+		retries = 3
+	}
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("snmplite: dial: %w", err)
+	}
+	return &Client{conn: conn, timeout: timeout, retries: retries, buf: make([]byte, 64*1024)}, nil
+}
+
+// Close releases the client's socket.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Get fetches the given counters, splitting into multiple requests when
+// more than MaxEntries are asked for.
+func (c *Client) Get(queries []Query) ([]Value, error) {
+	var out []Value
+	for len(queries) > 0 {
+		n := len(queries)
+		if n > MaxEntries {
+			n = MaxEntries
+		}
+		vals, err := c.getOnce(queries[:n])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+		queries = queries[n:]
+	}
+	return out, nil
+}
+
+func (c *Client) getOnce(queries []Query) ([]Value, error) {
+	c.nextID++
+	id := c.nextID
+	pkt, err := EncodeRequest(id, queries)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if _, err := c.conn.Write(pkt); err != nil {
+			return nil, fmt.Errorf("snmplite: send: %w", err)
+		}
+		deadline := time.Now().Add(c.timeout)
+		if err := c.conn.SetReadDeadline(deadline); err != nil {
+			return nil, err
+		}
+		for {
+			n, err := c.conn.Read(c.buf)
+			if err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					lastErr = fmt.Errorf("snmplite: timeout waiting for response %d", id)
+					break // retransmit
+				}
+				return nil, fmt.Errorf("snmplite: recv: %w", err)
+			}
+			gotID, values, err := DecodeResponse(c.buf[:n])
+			if gotID != id {
+				continue // stale reply to an earlier (retransmitted) request
+			}
+			if err != nil {
+				return nil, err
+			}
+			return values, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// LinkReading is a decoded poll of one link's counters.
+type LinkReading struct {
+	Link    topology.LinkID
+	Packets [2]uint64
+	Errors  [2]uint64
+	Drops   [2]uint64
+	TxPower [2]float64 // by optics side: 0 lower, 1 upper
+	RxPower [2]float64
+}
+
+// PollLink fetches all standard counters of one link.
+func (c *Client) PollLink(l topology.LinkID) (LinkReading, error) {
+	queries := make([]Query, 0, int(NumCounters))
+	for ctr := CounterID(0); ctr < NumCounters; ctr++ {
+		queries = append(queries, Query{Link: uint32(l), Counter: ctr})
+	}
+	values, err := c.Get(queries)
+	if err != nil {
+		return LinkReading{}, err
+	}
+	r := LinkReading{Link: l}
+	for _, v := range values {
+		switch v.Counter {
+		case CounterPacketsUp:
+			r.Packets[0] = v.Value
+		case CounterPacketsDown:
+			r.Packets[1] = v.Value
+		case CounterErrorsUp:
+			r.Errors[0] = v.Value
+		case CounterErrorsDown:
+			r.Errors[1] = v.Value
+		case CounterDropsUp:
+			r.Drops[0] = v.Value
+		case CounterDropsDown:
+			r.Drops[1] = v.Value
+		case CounterTxPowerLower:
+			r.TxPower[0] = DecodePower(v.Value)
+		case CounterTxPowerUpper:
+			r.TxPower[1] = DecodePower(v.Value)
+		case CounterRxPowerLower:
+			r.RxPower[0] = DecodePower(v.Value)
+		case CounterRxPowerUpper:
+			r.RxPower[1] = DecodePower(v.Value)
+		}
+	}
+	return r, nil
+}
+
+// CollectorProvider adapts a telemetry.Collector into an snmplite Provider,
+// exposing the most recent poll's counters and power levels.
+func CollectorProvider(c *telemetry.Collector, numLinks int) Provider {
+	return ProviderFunc(func(link uint32, counter CounterID) (uint64, error) {
+		if int(link) >= numLinks {
+			return 0, fmt.Errorf("unknown link")
+		}
+		l := topology.LinkID(link)
+		ctr := c.Counters(l)
+		obs, ok := c.Latest(l)
+		switch counter {
+		case CounterPacketsUp:
+			return ctr.Packets[0], nil
+		case CounterPacketsDown:
+			return ctr.Packets[1], nil
+		case CounterErrorsUp:
+			return ctr.Errors[0], nil
+		case CounterErrorsDown:
+			return ctr.Errors[1], nil
+		case CounterDropsUp:
+			return ctr.Drops[0], nil
+		case CounterDropsDown:
+			return ctr.Drops[1], nil
+		}
+		if !ok {
+			return 0, fmt.Errorf("no observation yet")
+		}
+		switch counter {
+		case CounterTxPowerLower:
+			return EncodePower(float64(obs.TxPower[0])), nil
+		case CounterTxPowerUpper:
+			return EncodePower(float64(obs.TxPower[1])), nil
+		case CounterRxPowerLower:
+			return EncodePower(float64(obs.RxPower[0])), nil
+		case CounterRxPowerUpper:
+			return EncodePower(float64(obs.RxPower[1])), nil
+		}
+		return 0, fmt.Errorf("unknown counter")
+	})
+}

@@ -1,0 +1,58 @@
+package snmplite
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequest ensures arbitrary datagrams never panic the request
+// decoder and that valid encodings round-trip.
+func FuzzDecodeRequest(f *testing.F) {
+	seed, _ := EncodeRequest(7, []Query{{Link: 3, Counter: CounterErrorsUp}})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{'C', 'S', 1, 1, 0, 0, 0, 9, 0, 200})
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		id, queries, err := DecodeRequest(pkt)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must re-encode and decode identically.
+		re, err := EncodeRequest(id, queries)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		id2, q2, err := DecodeRequest(re)
+		if err != nil || id2 != id || len(q2) != len(queries) {
+			t.Fatalf("round trip diverged: %v %v %v", id2, q2, err)
+		}
+		for i := range queries {
+			if q2[i] != queries[i] {
+				t.Fatalf("query %d changed: %v vs %v", i, q2[i], queries[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeResponse ensures arbitrary datagrams never panic the response
+// decoder.
+func FuzzDecodeResponse(f *testing.F) {
+	seed, _ := EncodeResponse(9, []Value{{Query: Query{Link: 1, Counter: CounterPacketsUp}, Value: 42}})
+	f.Add(seed)
+	f.Add(EncodeError(3, 2, "boom"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 40))
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		id, values, err := DecodeResponse(pkt)
+		if err != nil {
+			return
+		}
+		re, err := EncodeResponse(id, values)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		id2, v2, err := DecodeResponse(re)
+		if err != nil || id2 != id || len(v2) != len(values) {
+			t.Fatalf("round trip diverged: %v %v %v", id2, v2, err)
+		}
+	})
+}

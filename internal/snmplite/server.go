@@ -1,0 +1,105 @@
+package snmplite
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Provider answers counter queries; implementations adapt telemetry
+// sources. Unknown links or counters should return an error, which the
+// server converts into a protocol error reply.
+type Provider interface {
+	Counter(link uint32, counter CounterID) (uint64, error)
+}
+
+// ProviderFunc adapts a function to the Provider interface.
+type ProviderFunc func(link uint32, counter CounterID) (uint64, error)
+
+// Counter implements Provider.
+func (f ProviderFunc) Counter(link uint32, counter CounterID) (uint64, error) {
+	return f(link, counter)
+}
+
+// Server answers snmplite GET requests over UDP.
+type Server struct {
+	provider Provider
+	conn     net.PacketConn
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// NewServer starts a server on addr (e.g. "127.0.0.1:0") backed by the
+// provider. Close stops it.
+func NewServer(addr string, provider Provider) (*Server, error) {
+	if provider == nil {
+		return nil, errors.New("snmplite: nil provider")
+	}
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("snmplite: listen: %w", err)
+	}
+	s := &Server{provider: provider, conn: conn, done: make(chan struct{})}
+	go s.serve()
+	return s, nil
+}
+
+// Addr reports the server's bound address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) serve() {
+	defer close(s.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		reply := s.handle(buf[:n])
+		if reply != nil {
+			// Best-effort: UDP pollers retry on loss.
+			_, _ = s.conn.WriteTo(reply, peer)
+		}
+	}
+}
+
+// handle builds the reply for one datagram; nil drops it (unparseable
+// garbage gets no response, like real SNMP agents behave toward noise).
+func (s *Server) handle(pkt []byte) []byte {
+	reqID, queries, err := DecodeRequest(pkt)
+	if err != nil {
+		if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTruncated) {
+			return nil
+		}
+		return EncodeError(reqID, 1, err.Error())
+	}
+	values := make([]Value, 0, len(queries))
+	for _, q := range queries {
+		v, err := s.provider.Counter(q.Link, q.Counter)
+		if err != nil {
+			return EncodeError(reqID, 2, fmt.Sprintf("link %d counter %v: %v", q.Link, q.Counter, err))
+		}
+		values = append(values, Value{Query: q, Value: v})
+	}
+	reply, err := EncodeResponse(reqID, values)
+	if err != nil {
+		return EncodeError(reqID, 3, err.Error())
+	}
+	return reply
+}

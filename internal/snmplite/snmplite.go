@@ -1,0 +1,254 @@
+// Package snmplite implements a minimal SNMP-like polling protocol over
+// UDP, the transport the paper's monitoring pipeline uses to read each
+// link's packet, error, and drop counters plus optical power levels every
+// 15 minutes (§2). The protocol is a tiny subset of what SNMP GET provides:
+// fixed-size binary requests naming (link, counter) pairs, fixed-size
+// responses carrying 64-bit values.
+//
+// Wire format (all integers big-endian):
+//
+//	request:  magic(2)="CS" ver(1)=1 op(1) reqID(4) count(2)
+//	          count × { link(4) counter(2) }
+//	response: magic(2) ver(1) op(1)|0x80 reqID(4) count(2)
+//	          count × { link(4) counter(2) value(8) }
+//	error:    magic(2) ver(1) op=0xFF reqID(4) code(2) msgLen(2) msg
+//
+// Power levels are encoded as centi-dBm in two's complement inside the
+// uint64 value field.
+package snmplite
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Protocol constants.
+const (
+	Version = 1
+	// MaxEntries bounds one request/response so responses stay well under
+	// a common 1500-byte MTU: 10 + 90×14 = 1270 bytes.
+	MaxEntries = 90
+
+	magic0 = 'C'
+	magic1 = 'S'
+)
+
+// Op is the operation code of a request.
+type Op uint8
+
+const (
+	// OpGet fetches the named counters.
+	OpGet Op = 1
+	// opResponseFlag marks a response to the corresponding request op.
+	opResponseFlag = 0x80
+	// OpError is the server's failure reply.
+	OpError Op = 0xFF
+)
+
+// CounterID names one per-link quantity.
+type CounterID uint16
+
+const (
+	// CounterPacketsUp/Down are total packets per direction.
+	CounterPacketsUp CounterID = iota
+	CounterPacketsDown
+	// CounterErrorsUp/Down are CRC-failed (corrupted) packets.
+	CounterErrorsUp
+	CounterErrorsDown
+	// CounterDropsUp/Down are congestion drops.
+	CounterDropsUp
+	CounterDropsDown
+	// CounterTxPowerLower/Upper and CounterRxPowerLower/Upper are optical
+	// power levels in centi-dBm (two's complement).
+	CounterTxPowerLower
+	CounterTxPowerUpper
+	CounterRxPowerLower
+	CounterRxPowerUpper
+
+	// NumCounters is the count of defined counter ids.
+	NumCounters
+)
+
+// String implements fmt.Stringer.
+func (c CounterID) String() string {
+	names := []string{
+		"packets-up", "packets-down", "errors-up", "errors-down",
+		"drops-up", "drops-down", "tx-power-lower", "tx-power-upper",
+		"rx-power-lower", "rx-power-upper",
+	}
+	if int(c) < len(names) {
+		return names[c]
+	}
+	return fmt.Sprintf("counter-%d", uint16(c))
+}
+
+// EncodePower packs a dBm power level into a counter value (centi-dBm,
+// two's complement, rounded to the nearest centi-dB — truncation would bias
+// negative readings like -3.47 dBm whose centi value is not exactly
+// representable).
+func EncodePower(dbm float64) uint64 { return uint64(int64(math.Round(dbm * 100))) }
+
+// DecodePower unpacks a counter value produced by EncodePower.
+func DecodePower(v uint64) float64 { return float64(int64(v)) / 100 }
+
+// Query names one counter of one link.
+type Query struct {
+	Link    uint32
+	Counter CounterID
+}
+
+// Value is one answered query.
+type Value struct {
+	Query
+	Value uint64
+}
+
+// Errors returned by the codec.
+var (
+	ErrTruncated  = errors.New("snmplite: truncated packet")
+	ErrBadMagic   = errors.New("snmplite: bad magic")
+	ErrBadVersion = errors.New("snmplite: unsupported version")
+	ErrTooMany    = errors.New("snmplite: too many entries")
+)
+
+// RemoteError is an error reply from the server.
+type RemoteError struct {
+	Code uint16
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("snmplite: server error %d: %s", e.Code, e.Msg)
+}
+
+const reqHeaderLen = 10
+
+// EncodeRequest serializes a GET request.
+func EncodeRequest(reqID uint32, queries []Query) ([]byte, error) {
+	if len(queries) > MaxEntries {
+		return nil, ErrTooMany
+	}
+	buf := make([]byte, reqHeaderLen+6*len(queries))
+	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, Version, byte(OpGet)
+	binary.BigEndian.PutUint32(buf[4:], reqID)
+	binary.BigEndian.PutUint16(buf[8:], uint16(len(queries)))
+	off := reqHeaderLen
+	for _, q := range queries {
+		binary.BigEndian.PutUint32(buf[off:], q.Link)
+		binary.BigEndian.PutUint16(buf[off+4:], uint16(q.Counter))
+		off += 6
+	}
+	return buf, nil
+}
+
+// DecodeRequest parses a GET request, returning its id and queries.
+func DecodeRequest(pkt []byte) (reqID uint32, queries []Query, err error) {
+	if len(pkt) < reqHeaderLen {
+		return 0, nil, ErrTruncated
+	}
+	if pkt[0] != magic0 || pkt[1] != magic1 {
+		return 0, nil, ErrBadMagic
+	}
+	if pkt[2] != Version {
+		return 0, nil, ErrBadVersion
+	}
+	if Op(pkt[3]) != OpGet {
+		return 0, nil, fmt.Errorf("snmplite: unexpected op %#x in request", pkt[3])
+	}
+	reqID = binary.BigEndian.Uint32(pkt[4:])
+	n := int(binary.BigEndian.Uint16(pkt[8:]))
+	if n > MaxEntries {
+		return reqID, nil, ErrTooMany
+	}
+	if len(pkt) < reqHeaderLen+6*n {
+		return reqID, nil, ErrTruncated
+	}
+	queries = make([]Query, n)
+	off := reqHeaderLen
+	for i := range queries {
+		queries[i].Link = binary.BigEndian.Uint32(pkt[off:])
+		queries[i].Counter = CounterID(binary.BigEndian.Uint16(pkt[off+4:]))
+		off += 6
+	}
+	return reqID, queries, nil
+}
+
+// EncodeResponse serializes a GET response.
+func EncodeResponse(reqID uint32, values []Value) ([]byte, error) {
+	if len(values) > MaxEntries {
+		return nil, ErrTooMany
+	}
+	buf := make([]byte, reqHeaderLen+14*len(values))
+	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, Version, byte(OpGet)|opResponseFlag
+	binary.BigEndian.PutUint32(buf[4:], reqID)
+	binary.BigEndian.PutUint16(buf[8:], uint16(len(values)))
+	off := reqHeaderLen
+	for _, v := range values {
+		binary.BigEndian.PutUint32(buf[off:], v.Link)
+		binary.BigEndian.PutUint16(buf[off+4:], uint16(v.Counter))
+		binary.BigEndian.PutUint64(buf[off+6:], v.Value)
+		off += 14
+	}
+	return buf, nil
+}
+
+// EncodeError serializes an error reply.
+func EncodeError(reqID uint32, code uint16, msg string) []byte {
+	if len(msg) > 256 {
+		msg = msg[:256]
+	}
+	buf := make([]byte, 12+len(msg))
+	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, Version, byte(OpError)
+	binary.BigEndian.PutUint32(buf[4:], reqID)
+	binary.BigEndian.PutUint16(buf[8:], code)
+	binary.BigEndian.PutUint16(buf[10:], uint16(len(msg)))
+	copy(buf[12:], msg)
+	return buf
+}
+
+// DecodeResponse parses a server reply: either values or a *RemoteError.
+func DecodeResponse(pkt []byte) (reqID uint32, values []Value, err error) {
+	if len(pkt) < reqHeaderLen {
+		return 0, nil, ErrTruncated
+	}
+	if pkt[0] != magic0 || pkt[1] != magic1 {
+		return 0, nil, ErrBadMagic
+	}
+	if pkt[2] != Version {
+		return 0, nil, ErrBadVersion
+	}
+	reqID = binary.BigEndian.Uint32(pkt[4:])
+	if Op(pkt[3]) == OpError {
+		if len(pkt) < 12 {
+			return reqID, nil, ErrTruncated
+		}
+		code := binary.BigEndian.Uint16(pkt[8:])
+		msgLen := int(binary.BigEndian.Uint16(pkt[10:]))
+		if len(pkt) < 12+msgLen {
+			return reqID, nil, ErrTruncated
+		}
+		return reqID, nil, &RemoteError{Code: code, Msg: string(pkt[12 : 12+msgLen])}
+	}
+	if Op(pkt[3]) != OpGet|opResponseFlag {
+		return reqID, nil, fmt.Errorf("snmplite: unexpected op %#x in response", pkt[3])
+	}
+	n := int(binary.BigEndian.Uint16(pkt[8:]))
+	if n > MaxEntries {
+		return reqID, nil, ErrTooMany
+	}
+	if len(pkt) < reqHeaderLen+14*n {
+		return reqID, nil, ErrTruncated
+	}
+	values = make([]Value, n)
+	off := reqHeaderLen
+	for i := range values {
+		values[i].Link = binary.BigEndian.Uint32(pkt[off:])
+		values[i].Counter = CounterID(binary.BigEndian.Uint16(pkt[off+4:]))
+		values[i].Value = binary.BigEndian.Uint64(pkt[off+6:])
+		off += 14
+	}
+	return reqID, values, nil
+}

@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LossBucket labels one row of Table 1: a half-open interval of loss rates.
+type LossBucket struct {
+	// Lo is the inclusive lower bound of the bucket.
+	Lo float64
+	// Hi is the exclusive upper bound; +Inf for the last bucket.
+	Hi float64
+}
+
+// String renders the bucket the way Table 1 labels its rows.
+func (b LossBucket) String() string {
+	if math.IsInf(b.Hi, 1) {
+		return fmt.Sprintf("[%.0e+)", b.Lo)
+	}
+	return fmt.Sprintf("[%.0e - %.0e)", b.Lo, b.Hi)
+}
+
+// Contains reports whether rate falls in the bucket.
+func (b LossBucket) Contains(rate float64) bool {
+	return rate >= b.Lo && rate < b.Hi
+}
+
+// Table1Buckets are the loss-rate buckets of Table 1 in the paper:
+// [1e-8,1e-5), [1e-5,1e-4), [1e-4,1e-3), [1e-3,∞).
+// Rates below 1e-8 are considered non-lossy (the IEEE 802.3 floor the paper
+// conservatively adopts) and fall in no bucket.
+func Table1Buckets() []LossBucket {
+	return []LossBucket{
+		{Lo: 1e-8, Hi: 1e-5},
+		{Lo: 1e-5, Hi: 1e-4},
+		{Lo: 1e-4, Hi: 1e-3},
+		{Lo: 1e-3, Hi: math.Inf(1)},
+	}
+}
+
+// BucketShares classifies each rate into buckets and returns the share of
+// in-bucket rates per bucket, normalized so the shares sum to 1 (the
+// normalization Table 1 applies per column). Rates below the first bucket's
+// lower bound are excluded, mirroring the paper's lossy-link threshold.
+func BucketShares(rates []float64, buckets []LossBucket) []float64 {
+	counts := make([]int, len(buckets))
+	total := 0
+	for _, r := range rates {
+		for i, b := range buckets {
+			if b.Contains(r) {
+				counts[i]++
+				total++
+				break
+			}
+		}
+	}
+	shares := make([]float64, len(buckets))
+	if total == 0 {
+		return shares
+	}
+	for i, c := range counts {
+		shares[i] = float64(c) / float64(total)
+	}
+	return shares
+}
+
+// LogUniform maps a uniform draw u in [0,1) to a log-uniformly distributed
+// value in [lo, hi). Loss rates within a Table 1 bucket are sampled this way
+// because corruption rates span orders of magnitude.
+func LogUniform(u, lo, hi float64) float64 {
+	if lo <= 0 || hi <= lo {
+		panic("stats: LogUniform requires 0 < lo < hi")
+	}
+	return lo * math.Pow(hi/lo, u)
+}

@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Buckets(t *testing.T) {
+	bs := Table1Buckets()
+	if len(bs) != 4 {
+		t.Fatalf("want 4 buckets, got %d", len(bs))
+	}
+	cases := []struct {
+		rate   float64
+		bucket int // -1 for none
+	}{
+		{0, -1},
+		{1e-9, -1},
+		{1e-8, 0},
+		{9.9e-6, 0},
+		{1e-5, 1},
+		{1e-4, 2},
+		{1e-3, 3},
+		{0.5, 3},
+	}
+	for _, tc := range cases {
+		got := -1
+		for i, b := range bs {
+			if b.Contains(tc.rate) {
+				got = i
+				break
+			}
+		}
+		if got != tc.bucket {
+			t.Errorf("rate %v classified into bucket %d, want %d", tc.rate, got, tc.bucket)
+		}
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	bs := Table1Buckets()
+	if s := bs[0].String(); s != "[1e-08 - 1e-05)" {
+		t.Fatalf("bucket label = %q", s)
+	}
+	if s := bs[3].String(); s != "[1e-03+)" {
+		t.Fatalf("last bucket label = %q", s)
+	}
+}
+
+func TestBucketShares(t *testing.T) {
+	bs := Table1Buckets()
+	rates := []float64{1e-7, 1e-7, 1e-4, 1e-2, 1e-12 /* excluded */}
+	shares := BucketShares(rates, bs)
+	want := []float64{0.5, 0, 0.25, 0.25}
+	for i := range want {
+		if !almostEqual(shares[i], want[i], 1e-12) {
+			t.Fatalf("shares = %v, want %v", shares, want)
+		}
+	}
+	// Empty and all-excluded inputs give all-zero shares.
+	if s := BucketShares(nil, bs); s[0] != 0 || s[3] != 0 {
+		t.Fatalf("empty shares = %v", s)
+	}
+}
+
+func TestBucketSharesSumToOne(t *testing.T) {
+	bs := Table1Buckets()
+	f := func(raw []float64) bool {
+		var rates []float64
+		anyIn := false
+		for _, r := range raw {
+			r = math.Abs(r)
+			rates = append(rates, r)
+			if r >= 1e-8 && !math.IsInf(r, 0) && !math.IsNaN(r) {
+				anyIn = true
+			}
+		}
+		shares := BucketShares(rates, bs)
+		sum := 0.0
+		for _, s := range shares {
+			sum += s
+		}
+		if !anyIn {
+			return sum == 0
+		}
+		return almostEqual(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogUniform(t *testing.T) {
+	if v := LogUniform(0, 1e-8, 1e-5); v != 1e-8 {
+		t.Fatalf("LogUniform(0) = %v", v)
+	}
+	v := LogUniform(0.5, 1e-8, 1e-2)
+	if !almostEqual(math.Log10(v), -5, 1e-9) {
+		t.Fatalf("LogUniform(0.5, 1e-8, 1e-2) = %v, want 1e-5", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LogUniform with bad bounds should panic")
+		}
+	}()
+	LogUniform(0.5, 0, 1)
+}

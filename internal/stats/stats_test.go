@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("Variance = %v, want 4", v)
+	}
+	if sd := StdDev(xs); sd != 2 {
+		t.Fatalf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty sample should yield zeros")
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	// A constant series is perfectly stable.
+	if cv := CoefficientOfVariation([]float64{3, 3, 3}); cv != 0 {
+		t.Fatalf("constant series CV = %v, want 0", cv)
+	}
+	// All-zero series must not divide by zero.
+	if cv := CoefficientOfVariation([]float64{0, 0}); cv != 0 {
+		t.Fatalf("zero series CV = %v, want 0", cv)
+	}
+	cv := CoefficientOfVariation([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(cv, 0.4, 1e-12) {
+		t.Fatalf("CV = %v, want 0.4", cv)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, %v, want 1", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(xs, neg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+	// Constant series: correlation undefined, we define it as 0.
+	r, err = Pearson(xs, []float64{1, 1, 1, 1, 1})
+	if err != nil || r != 0 {
+		t.Fatalf("Pearson with constant = %v, %v, want 0", r, err)
+	}
+	if _, err := Pearson(xs, ys[:3]); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+	if _, err := Pearson(nil, nil); err == nil {
+		t.Fatal("empty input not reported")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			// Magnitudes near MaxFloat64 overflow the sums of squares;
+			// loss rates and utilizations are bounded, so cap the domain.
+			if math.Abs(x) > 1e150 || math.IsNaN(x) {
+				return true
+			}
+		}
+		ys := make([]float64, len(xs))
+		for i := range ys {
+			ys[i] = xs[(i+1)%len(xs)]
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			return false
+		}
+		return r >= -1.0000001 && r <= 1.0000001 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	} {
+		got, err := Quantile(xs, tc.q)
+		if err != nil || !almostEqual(got, tc.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, %v, want %v", tc.q, got, err, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Fatal("empty quantile not reported")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Fatal("out-of-range quantile not reported")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 3})
+	if got := c.At(0.5); got != 0 {
+		t.Fatalf("At(0.5) = %v, want 0", got)
+	}
+	if got := c.At(2); got != 0.75 {
+		t.Fatalf("At(2) = %v, want 0.75", got)
+	}
+	if got := c.At(3); got != 1 {
+		t.Fatalf("At(3) = %v, want 1", got)
+	}
+	if got := c.Inverse(0.5); got != 2 {
+		t.Fatalf("Inverse(0.5) = %v, want 2", got)
+	}
+	if got := c.Inverse(0); got != 1 {
+		t.Fatalf("Inverse(0) = %v, want 1", got)
+	}
+	if got := c.Inverse(1); got != 3 {
+		t.Fatalf("Inverse(1) = %v, want 3", got)
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for _, x := range xs {
+			p := c.At(x)
+			if p < 0 || p > 1 {
+				return false
+			}
+			_ = prev
+		}
+		// Monotonic over a sweep of thresholds.
+		prev = 0
+		for i := -10; i <= 10; i++ {
+			p := c.At(float64(i))
+			if p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points(5) returned %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][0] < pts[i-1][0] || pts[i][1] < pts[i-1][1] {
+			t.Fatalf("points not monotone: %v", pts)
+		}
+	}
+	if pts[len(pts)-1][1] != 1 {
+		t.Fatalf("last point probability = %v, want 1", pts[len(pts)-1][1])
+	}
+	if got := c.Points(0); got != nil {
+		t.Fatal("Points(0) should be nil")
+	}
+}

@@ -1,0 +1,221 @@
+// Package telemetry emulates the monitoring pipeline the paper's operators
+// run: every 15 minutes, SNMP queries collect each link's packet totals,
+// packet errors (CRC failures — corruption), packet drops (congestion), and
+// the transceivers' optical transmit/receive power levels.
+//
+// A Collector polls ground truth (the fault state and the traffic model) and
+// maintains cumulative counters plus, for watched links, an observation time
+// series. Counter readings carry multiplicative measurement noise so that
+// derived corruption-rate series have a small but non-zero coefficient of
+// variation, as in Figure 2.
+package telemetry
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+	"time"
+
+	"corropt/internal/faults"
+	"corropt/internal/optics"
+	"corropt/internal/topology"
+	"corropt/internal/traffic"
+)
+
+// DefaultInterval is the polling cadence used in the paper's data centers.
+const DefaultInterval = 15 * time.Minute
+
+// Observation is one polled snapshot of a link.
+type Observation struct {
+	At time.Duration
+	// Disabled records that the link was administratively down at poll
+	// time; disabled links carry no traffic and report no optics (§8
+	// notes monitoring stops when a link is disabled).
+	Disabled bool
+	// Util is the link utilization per direction.
+	Util [2]float64
+	// CorruptionRate is errors/packets per direction over the interval.
+	CorruptionRate [2]float64
+	// CongestionRate is drops/packets per direction over the interval.
+	CongestionRate [2]float64
+	// TxPower and RxPower are the optical power readings per side
+	// (indexed by optics.Side).
+	TxPower [2]optics.DBm
+	RxPower [2]optics.DBm
+}
+
+// Counters are the cumulative per-link SNMP counters, per direction.
+type Counters struct {
+	Packets [2]uint64
+	Errors  [2]uint64
+	Drops   [2]uint64
+}
+
+// Config parameterizes a Collector.
+type Config struct {
+	// Interval between polls; default DefaultInterval.
+	Interval time.Duration
+	// LineRatePPS is the packet throughput of a fully utilized direction;
+	// default 1e6 packets/s (small frames at 10G would be higher; the
+	// absolute value only scales counters).
+	LineRatePPS float64
+	// NoiseSigma is the log-normal measurement noise applied to error
+	// counts; default 0.25, giving corruption-rate series a CV well under
+	// congestion's.
+	NoiseSigma float64
+	// Seed makes the measurement noise reproducible.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Interval == 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.LineRatePPS == 0 {
+		c.LineRatePPS = 1e6
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.25
+	}
+}
+
+// Collector polls link state into counters and observation series.
+//
+// A Collector is safe for concurrent reads (Latest, Series, Counters) while
+// one goroutine polls — the deployment shape, where the snmplite responder
+// serves counter queries while the 15-minute poll loop runs.
+type Collector struct {
+	mu       sync.RWMutex
+	cfg      Config
+	topo     *topology.Topology
+	state    *faults.State
+	traffic  *traffic.Model
+	disabled topology.DisabledFunc
+	counters []Counters
+	watched  map[topology.LinkID][]Observation
+	latest   []Observation
+	polled   []bool
+}
+
+// NewCollector builds a Collector over ground-truth sources. disabled, if
+// non-nil, reports administratively-down links, which are observed as
+// Disabled with no traffic. The traffic model may be nil, in which case all
+// directions run at a fixed 50% utilization with no congestion.
+func NewCollector(state *faults.State, tm *traffic.Model, disabled topology.DisabledFunc, cfg Config) *Collector {
+	cfg.fillDefaults()
+	topo := state.Topology()
+	return &Collector{
+		cfg:      cfg,
+		topo:     topo,
+		state:    state,
+		traffic:  tm,
+		disabled: disabled,
+		counters: make([]Counters, topo.NumLinks()),
+		watched:  make(map[topology.LinkID][]Observation),
+		latest:   make([]Observation, topo.NumLinks()),
+		polled:   make([]bool, topo.NumLinks()),
+	}
+}
+
+// Interval reports the polling interval.
+func (c *Collector) Interval() time.Duration { return c.cfg.Interval }
+
+// Watch records full observation series for the given links. Unwatched
+// links keep only their latest observation and cumulative counters, which
+// bounds memory on large topologies.
+func (c *Collector) Watch(links ...topology.LinkID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, l := range links {
+		if _, ok := c.watched[l]; !ok {
+			c.watched[l] = nil
+		}
+	}
+}
+
+// Poll takes one snapshot of every link at virtual time now.
+func (c *Collector) Poll(now time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seconds := c.cfg.Interval.Seconds()
+	for li := 0; li < c.topo.NumLinks(); li++ {
+		l := topology.LinkID(li)
+		obs := Observation{At: now}
+		if c.disabled != nil && c.disabled(l) {
+			obs.Disabled = true
+		} else {
+			ol := c.state.Optics(l)
+			obs.TxPower[optics.LowerSide] = ol.TxPower(optics.LowerSide)
+			obs.TxPower[optics.UpperSide] = ol.TxPower(optics.UpperSide)
+			obs.RxPower[optics.LowerSide] = ol.RxPower(optics.LowerSide)
+			obs.RxPower[optics.UpperSide] = ol.RxPower(optics.UpperSide)
+			for _, d := range []topology.Direction{topology.Up, topology.Down} {
+				util := 0.5
+				congestion := 0.0
+				if c.traffic != nil {
+					util = c.traffic.Utilization(l, d, now)
+					congestion = c.traffic.LossRate(l, d, now)
+				}
+				corruption := c.state.CorruptionRate(l, d) * c.noise(l, d, now)
+				if corruption > 1 {
+					corruption = 1
+				}
+				packets := util * c.cfg.LineRatePPS * seconds
+				obs.Util[d] = util
+				obs.CorruptionRate[d] = corruption
+				obs.CongestionRate[d] = congestion
+				c.counters[l].Packets[d] += uint64(packets)
+				c.counters[l].Errors[d] += uint64(packets * corruption)
+				c.counters[l].Drops[d] += uint64(packets * congestion)
+			}
+		}
+		c.latest[l] = obs
+		c.polled[l] = true
+		if series, ok := c.watched[l]; ok {
+			c.watched[l] = append(series, obs)
+		}
+	}
+}
+
+// noise returns the multiplicative measurement noise for one sample,
+// deterministic in (seed, link, direction, time).
+func (c *Collector) noise(l topology.LinkID, d topology.Direction, at time.Duration) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range []uint64{c.cfg.Seed, uint64(l), uint64(d), uint64(at / time.Second)} {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	x := h.Sum64()
+	u1 := (float64(x>>32) + 1) / float64(1<<32+1)
+	u2 := (float64(x&0xffffffff) + 1) / float64(1<<32+1)
+	n := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(n * c.cfg.NoiseSigma)
+}
+
+// Latest returns the most recent observation of link l; ok is false before
+// the first poll.
+func (c *Collector) Latest(l topology.LinkID) (Observation, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.latest[l], c.polled[l]
+}
+
+// Series returns the recorded observations of a watched link; nil for
+// unwatched links. The returned slice must not be mutated; it remains valid
+// across later polls (growth replaces the backing array atomically under
+// the lock).
+func (c *Collector) Series(l topology.LinkID) []Observation {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.watched[l]
+}
+
+// Counters returns the cumulative counters of link l.
+func (c *Collector) Counters(l topology.LinkID) Counters {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.counters[l]
+}

@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"corropt/internal/faults"
+	"corropt/internal/optics"
+	"corropt/internal/rngutil"
+	"corropt/internal/stats"
+	"corropt/internal/topology"
+	"corropt/internal/traffic"
+)
+
+func setup(t *testing.T) (*topology.Topology, *faults.State, *traffic.Model) {
+	t.Helper()
+	topo, err := topology.NewClos(topology.ClosConfig{
+		Pods: 2, ToRsPerPod: 4, AggsPerPod: 2, Spines: 4, SpineUplinksPerAgg: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := optics.Technology{Name: "t", NominalTx: 0, TxThreshold: -4, RxThreshold: -10, PathLoss: 3}
+	st := faults.NewState(topo, tech)
+	tm := traffic.New(topo, traffic.Config{}, rngutil.New(5).Split("traffic"))
+	return topo, st, tm
+}
+
+func TestPollAccumulatesCounters(t *testing.T) {
+	_, st, tm := setup(t)
+	c := NewCollector(st, tm, nil, Config{})
+	c.Poll(0)
+	c.Poll(15 * time.Minute)
+	ctr := c.Counters(0)
+	if ctr.Packets[topology.Up] == 0 {
+		t.Fatal("no packets counted")
+	}
+	// Healthy link: error counters stay negligible relative to packets.
+	if ctr.Errors[topology.Up] > ctr.Packets[topology.Up]/1000 {
+		t.Fatalf("healthy link errors = %d of %d packets", ctr.Errors[topology.Up], ctr.Packets[topology.Up])
+	}
+}
+
+func TestCorruptionShowsInErrors(t *testing.T) {
+	_, st, tm := setup(t)
+	f := &faults.Fault{
+		ID:    1,
+		Cause: faults.BadTransceiver,
+		Effects: []faults.LinkEffect{
+			{Link: 0, DirectRate: [2]float64{0.01, 0}},
+		},
+	}
+	st.Apply(f)
+	c := NewCollector(st, tm, nil, Config{})
+	c.Poll(0)
+	obs, ok := c.Latest(0)
+	if !ok {
+		t.Fatal("no observation after poll")
+	}
+	r := obs.CorruptionRate[topology.Up]
+	if r < 0.005 || r > 0.02 {
+		t.Fatalf("observed corruption rate = %v, want ≈0.01 with noise", r)
+	}
+	if obs.CorruptionRate[topology.Down] > 1e-6 {
+		t.Fatalf("reverse direction corrupting: %v", obs.CorruptionRate[topology.Down])
+	}
+	ctr := c.Counters(0)
+	if ctr.Errors[topology.Up] == 0 {
+		t.Fatal("error counter did not move")
+	}
+}
+
+func TestDisabledLinksNotObserved(t *testing.T) {
+	_, st, tm := setup(t)
+	down := map[topology.LinkID]bool{3: true}
+	c := NewCollector(st, tm, func(l topology.LinkID) bool { return down[l] }, Config{})
+	c.Poll(0)
+	obs, _ := c.Latest(3)
+	if !obs.Disabled {
+		t.Fatal("disabled link observed as up")
+	}
+	if obs.Util[0] != 0 || obs.CorruptionRate[0] != 0 {
+		t.Fatal("disabled link reports traffic")
+	}
+	if ctr := c.Counters(3); ctr.Packets[0] != 0 {
+		t.Fatal("disabled link accumulated counters")
+	}
+	// Other links still observed.
+	if obs, _ := c.Latest(0); obs.Disabled {
+		t.Fatal("healthy link marked disabled")
+	}
+}
+
+func TestWatchRecordsSeries(t *testing.T) {
+	_, st, tm := setup(t)
+	c := NewCollector(st, tm, nil, Config{})
+	c.Watch(1, 2)
+	for i := 0; i < 10; i++ {
+		c.Poll(time.Duration(i) * 15 * time.Minute)
+	}
+	if got := len(c.Series(1)); got != 10 {
+		t.Fatalf("watched series length = %d, want 10", got)
+	}
+	if got := c.Series(5); got != nil {
+		t.Fatalf("unwatched link has series of length %d", len(got))
+	}
+	// Series is ordered by time.
+	s := c.Series(2)
+	for i := 1; i < len(s); i++ {
+		if s[i].At <= s[i-1].At {
+			t.Fatal("series not time-ordered")
+		}
+	}
+}
+
+func TestPowerReadings(t *testing.T) {
+	_, st, tm := setup(t)
+	// Inject a contamination-like loss and check the poll sees low Rx.
+	f := &faults.Fault{
+		ID:    2,
+		Cause: faults.ConnectorContamination,
+		Effects: []faults.LinkEffect{
+			{Link: 4, ExtraLossFrom: [2]optics.DB{optics.LowerSide: 12}},
+		},
+	}
+	st.Apply(f)
+	c := NewCollector(st, tm, nil, Config{})
+	c.Poll(0)
+	obs, _ := c.Latest(4)
+	tech := st.Tech()
+	if obs.RxPower[optics.UpperSide] >= tech.RxThreshold {
+		t.Fatalf("upper Rx = %v, want below %v", obs.RxPower[optics.UpperSide], tech.RxThreshold)
+	}
+	if obs.RxPower[optics.LowerSide] < tech.RxThreshold {
+		t.Fatal("lower Rx should be healthy")
+	}
+	if obs.TxPower[optics.LowerSide] < tech.TxThreshold || obs.TxPower[optics.UpperSide] < tech.TxThreshold {
+		t.Fatal("Tx power should stay high under contamination")
+	}
+}
+
+func TestCorruptionCVSmall(t *testing.T) {
+	// The measurement noise must leave corruption-rate series far more
+	// stable than congestion (Figure 2's contrast).
+	_, st, tm := setup(t)
+	f := &faults.Fault{
+		ID:    3,
+		Cause: faults.BadTransceiver,
+		Effects: []faults.LinkEffect{
+			{Link: 7, DirectRate: [2]float64{1e-4, 0}},
+		},
+	}
+	st.Apply(f)
+	c := NewCollector(st, tm, nil, Config{})
+	c.Watch(7)
+	for i := 0; i < 7*96; i++ {
+		c.Poll(time.Duration(i) * 15 * time.Minute)
+	}
+	var series []float64
+	for _, o := range c.Series(7) {
+		series = append(series, o.CorruptionRate[topology.Up])
+	}
+	cv := stats.CoefficientOfVariation(series)
+	if cv > 0.5 {
+		t.Fatalf("corruption CV = %v, want small (< 0.5)", cv)
+	}
+	if cv == 0 {
+		t.Fatal("expected some measurement noise")
+	}
+}
+
+func TestNoiseDeterministic(t *testing.T) {
+	_, st, tm := setup(t)
+	a := NewCollector(st, tm, nil, Config{Seed: 9})
+	b := NewCollector(st, tm, nil, Config{Seed: 9})
+	a.Poll(0)
+	b.Poll(0)
+	oa, _ := a.Latest(0)
+	ob, _ := b.Latest(0)
+	if oa != ob {
+		t.Fatal("observations differ across identical collectors")
+	}
+}
+
+// TestConcurrentReadsDuringPoll codifies the deployment contract: the
+// snmplite responder reads counters while the poll loop runs. Run under
+// -race this guards the Collector's locking.
+func TestConcurrentReadsDuringPoll(t *testing.T) {
+	_, st, tm := setup(t)
+	c := NewCollector(st, tm, nil, Config{})
+	c.Watch(0, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			c.Counters(0)
+			c.Latest(1)
+			c.Series(0)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		c.Poll(time.Duration(i) * 15 * time.Minute)
+	}
+	<-done
+	if ctr := c.Counters(0); ctr.Packets[0] == 0 {
+		t.Fatal("no packets counted under concurrency")
+	}
+}

@@ -1,0 +1,232 @@
+// Package tickets models the repair workflow of §5.2: every disabled link
+// gets a maintenance ticket; tickets wait in a FIFO queue for a technician;
+// a repair attempt takes on average two days; an attempt that misses the
+// root cause leaves the link corrupting, so it is re-disabled and re-queued
+// — each failed attempt adds two more days of downtime (Figure 12).
+package tickets
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"corropt/internal/faults"
+	"corropt/internal/topology"
+)
+
+// Status is a ticket's lifecycle state.
+type Status int
+
+const (
+	// Queued tickets wait for a technician.
+	Queued Status = iota
+	// InRepair tickets are being worked on.
+	InRepair
+	// Resolved tickets finished (successfully or not).
+	Resolved
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case InRepair:
+		return "in-repair"
+	case Resolved:
+		return "resolved"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Ticket is one maintenance ticket for one disabled link.
+type Ticket struct {
+	ID   int64
+	Link topology.LinkID
+	// Recommendation is the engine's suggested repair; ActionUnknown when
+	// no recommendation could be generated.
+	Recommendation faults.RepairAction
+	// Attempt is 1 for the link's first repair try, incrementing across
+	// re-opened tickets (Figure 12's unsuccessful-repair loop).
+	Attempt int
+	Status  Status
+	// CreatedAt, StartedAt and ResolvedAt are virtual times.
+	CreatedAt, StartedAt, ResolvedAt time.Duration
+	// ActionTaken is what the technician actually did.
+	ActionTaken faults.RepairAction
+	// Succeeded records whether the repair eliminated corruption.
+	Succeeded bool
+	// Diary collects free-form log lines, mirroring the ticket diaries
+	// the paper's analysis reads.
+	Diary []string
+}
+
+// Log appends a diary line.
+func (t *Ticket) Log(format string, args ...interface{}) {
+	t.Diary = append(t.Diary, fmt.Sprintf(format, args...))
+}
+
+// QueueConfig parameterizes the repair queue.
+type QueueConfig struct {
+	// ServiceTime is how long one repair attempt takes once started;
+	// default 48h (the two-day average of §5.2).
+	ServiceTime time.Duration
+	// Technicians bounds concurrent repairs; 0 means unlimited, which
+	// reproduces §7.1's simulation model where every ticket resolves a
+	// fixed two days after creation.
+	Technicians int
+}
+
+func (c *QueueConfig) fillDefaults() {
+	if c.ServiceTime == 0 {
+		c.ServiceTime = 48 * time.Hour
+	}
+}
+
+// Queue is the FIFO maintenance queue.
+type Queue struct {
+	cfg    QueueConfig
+	nextID int64
+	// workers holds the busy-until time of each technician when bounded.
+	workers busyHeap
+	open    map[int64]*Ticket
+	history []*Ticket
+	// attempts tracks per-link repair attempts for Attempt numbering.
+	attempts map[topology.LinkID]int
+}
+
+type busyHeap []time.Duration
+
+func (h busyHeap) Len() int            { return len(h) }
+func (h busyHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h busyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *busyHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *busyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// NewQueue returns an empty Queue.
+func NewQueue(cfg QueueConfig) *Queue {
+	cfg.fillDefaults()
+	q := &Queue{
+		cfg:      cfg,
+		open:     make(map[int64]*Ticket),
+		attempts: make(map[topology.LinkID]int),
+	}
+	for i := 0; i < cfg.Technicians; i++ {
+		q.workers = append(q.workers, 0)
+	}
+	return q
+}
+
+// Open creates a ticket for link l at virtual time now and returns it along
+// with the virtual time its repair attempt will complete. With unlimited
+// technicians that is now + ServiceTime; with a bounded crew the ticket
+// waits for the first free technician (FIFO).
+func (q *Queue) Open(l topology.LinkID, rec faults.RepairAction, now time.Duration) (*Ticket, time.Duration) {
+	q.attempts[l]++
+	t := &Ticket{
+		ID:             q.nextID,
+		Link:           l,
+		Recommendation: rec,
+		Attempt:        q.attempts[l],
+		Status:         Queued,
+		CreatedAt:      now,
+	}
+	q.nextID++
+	start := now
+	if len(q.workers) > 0 {
+		free := heap.Pop(&q.workers).(time.Duration)
+		if free > start {
+			start = free
+		}
+		heap.Push(&q.workers, start+q.cfg.ServiceTime)
+	}
+	t.StartedAt = start
+	t.Status = InRepair
+	done := start + q.cfg.ServiceTime
+	q.open[t.ID] = t
+	t.Log("opened at %v, repair scheduled to finish at %v (attempt %d, recommendation %v)",
+		now, done, t.Attempt, rec)
+	return t, done
+}
+
+// Resolve marks a ticket finished at virtual time now, recording the action
+// taken and whether it succeeded.
+func (q *Queue) Resolve(t *Ticket, now time.Duration, action faults.RepairAction, succeeded bool) error {
+	if _, ok := q.open[t.ID]; !ok {
+		return fmt.Errorf("tickets: ticket %d is not open", t.ID)
+	}
+	delete(q.open, t.ID)
+	t.Status = Resolved
+	t.ResolvedAt = now
+	t.ActionTaken = action
+	t.Succeeded = succeeded
+	t.Log("resolved at %v: action %v, success %v", now, action, succeeded)
+	q.history = append(q.history, t)
+	if succeeded {
+		// The repair episode is over; a future fault on the same link
+		// starts a fresh first attempt.
+		delete(q.attempts, t.Link)
+	}
+	return nil
+}
+
+// OpenCount reports the number of unresolved tickets.
+func (q *Queue) OpenCount() int { return len(q.open) }
+
+// History returns resolved tickets in resolution order. The slice is
+// shared; callers must not mutate it.
+func (q *Queue) History() []*Ticket { return q.history }
+
+// FirstAttemptSuccessRate computes, over resolved tickets, the fraction of
+// links repaired on their first attempt — the §7.2 accuracy metric (50%
+// before CorrOpt, 80% when recommendations are followed).
+func (q *Queue) FirstAttemptSuccessRate() float64 {
+	first, succeeded := 0, 0
+	for _, t := range q.history {
+		if t.Attempt == 1 {
+			first++
+			if t.Succeeded {
+				succeeded++
+			}
+		}
+	}
+	if first == 0 {
+		return 0
+	}
+	return float64(succeeded) / float64(first)
+}
+
+// MeanAttempts reports the average number of attempts per repaired link.
+func (q *Queue) MeanAttempts() float64 {
+	perLink := make(map[topology.LinkID]int)
+	success := make(map[topology.LinkID]bool)
+	for _, t := range q.history {
+		if t.Attempt > perLink[t.Link] {
+			perLink[t.Link] = t.Attempt
+		}
+		if t.Succeeded {
+			success[t.Link] = true
+		}
+	}
+	if len(success) == 0 {
+		return 0
+	}
+	sum := 0
+	links := make([]topology.LinkID, 0, len(success))
+	for l := range success {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, l := range links {
+		sum += perLink[l]
+	}
+	return float64(sum) / float64(len(links))
+}

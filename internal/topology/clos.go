@@ -1,0 +1,172 @@
+package topology
+
+import "fmt"
+
+// ClosConfig parameterizes a three-stage Clos network (ToR → aggregation →
+// spine), the design the paper's data centers use and its evaluation
+// simulates at O(15K) and O(35K) links.
+type ClosConfig struct {
+	// Pods is the number of pods.
+	Pods int
+	// ToRsPerPod is the number of top-of-rack switches per pod.
+	ToRsPerPod int
+	// AggsPerPod is the number of aggregation switches per pod. Every ToR
+	// connects to every aggregation switch in its pod.
+	AggsPerPod int
+	// Spines is the number of spine switches.
+	Spines int
+	// SpineUplinksPerAgg is how many spine switches each aggregation switch
+	// connects to (striped across the spine).
+	SpineUplinksPerAgg int
+	// BreakoutSize, if positive, groups each aggregation switch's spine
+	// uplinks into breakout cables of this many links (root cause 5's
+	// shared component). Breakout cables split a high-speed port into
+	// several low-speed ones and therefore sit between switches of
+	// different port speeds — the aggregation↔spine boundary — so ToR
+	// uplinks are never grouped. Zero disables breakout grouping.
+	BreakoutSize int
+}
+
+// Validate checks the configuration for consistency.
+func (c ClosConfig) Validate() error {
+	switch {
+	case c.Pods <= 0 || c.ToRsPerPod <= 0 || c.AggsPerPod <= 0 || c.Spines <= 0:
+		return fmt.Errorf("topology: all Clos dimensions must be positive, got %+v", c)
+	case c.SpineUplinksPerAgg <= 0:
+		return fmt.Errorf("topology: SpineUplinksPerAgg must be positive, got %d", c.SpineUplinksPerAgg)
+	case c.SpineUplinksPerAgg > c.Spines:
+		return fmt.Errorf("topology: SpineUplinksPerAgg %d exceeds Spines %d", c.SpineUplinksPerAgg, c.Spines)
+	case c.BreakoutSize < 0:
+		return fmt.Errorf("topology: negative BreakoutSize %d", c.BreakoutSize)
+	}
+	return nil
+}
+
+// NumLinks reports the number of links the configuration will produce.
+func (c ClosConfig) NumLinks() int {
+	perPod := c.ToRsPerPod*c.AggsPerPod + c.AggsPerPod*c.SpineUplinksPerAgg
+	return c.Pods * perPod
+}
+
+// NewClos builds a three-stage Clos network from the configuration.
+func NewClos(c ClosConfig) (*Topology, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	b := NewBuilder()
+	spines := make([]SwitchID, c.Spines)
+	for i := range spines {
+		spines[i] = b.AddSwitch(fmt.Sprintf("spine-%d", i), 2, -1)
+	}
+	nextGroup := 0
+	group := func(j int) int {
+		// Caller advances nextGroup per switch; j indexes that switch's
+		// uplinks in creation order.
+		if c.BreakoutSize <= 0 {
+			return -1
+		}
+		return nextGroup + j/c.BreakoutSize
+	}
+	groupsUsed := func(n int) {
+		if c.BreakoutSize > 0 {
+			nextGroup += (n + c.BreakoutSize - 1) / c.BreakoutSize
+		}
+	}
+	for p := 0; p < c.Pods; p++ {
+		aggs := make([]SwitchID, c.AggsPerPod)
+		for a := range aggs {
+			aggs[a] = b.AddSwitch(fmt.Sprintf("agg-%d-%d", p, a), 1, p)
+		}
+		for t := 0; t < c.ToRsPerPod; t++ {
+			tor := b.AddSwitch(fmt.Sprintf("tor-%d-%d", p, t), 0, p)
+			for _, agg := range aggs {
+				b.AddLink(tor, agg, -1)
+			}
+		}
+		for a, agg := range aggs {
+			base := (p*c.AggsPerPod + a) * c.SpineUplinksPerAgg
+			for j := 0; j < c.SpineUplinksPerAgg; j++ {
+				spine := spines[(base+j)%c.Spines]
+				b.AddLink(agg, spine, group(j))
+			}
+			groupsUsed(c.SpineUplinksPerAgg)
+		}
+	}
+	return b.Build()
+}
+
+// NewFatTree builds a canonical k-ary fat-tree: k pods each with k/2 ToR and
+// k/2 aggregation switches, and (k/2)^2 core switches. k must be even and at
+// least 2. The Appendix A hardness gadget is constructed on such trees.
+func NewFatTree(k int) (*Topology, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity must be even and >= 2, got %d", k)
+	}
+	half := k / 2
+	b := NewBuilder()
+	cores := make([]SwitchID, half*half)
+	for i := range cores {
+		cores[i] = b.AddSwitch(fmt.Sprintf("core-%d", i), 2, -1)
+	}
+	for p := 0; p < k; p++ {
+		aggs := make([]SwitchID, half)
+		for a := range aggs {
+			aggs[a] = b.AddSwitch(fmt.Sprintf("agg-%d-%d", p, a), 1, p)
+		}
+		for t := 0; t < half; t++ {
+			tor := b.AddSwitch(fmt.Sprintf("tor-%d-%d", p, t), 0, p)
+			for _, agg := range aggs {
+				b.AddLink(tor, agg, -1)
+			}
+		}
+		for a, agg := range aggs {
+			for j := 0; j < half; j++ {
+				b.AddLink(agg, cores[a*half+j], -1)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// NewMultiTier builds a synthetic folded-Clos-like topology with an
+// arbitrary number of tiers for exercising the r-tier generalization of the
+// switch-local threshold (sc = c^(1/r)). widths[s] gives the number of
+// switches at stage s (stage 0 is the ToR level) and fanout[s] how many
+// next-stage switches each stage-s switch connects to, striped modulo the
+// next stage's width.
+func NewMultiTier(widths []int, fanout []int) (*Topology, error) {
+	if len(widths) < 2 {
+		return nil, fmt.Errorf("topology: need at least 2 stages, got %d", len(widths))
+	}
+	if len(fanout) != len(widths)-1 {
+		return nil, fmt.Errorf("topology: need %d fanout entries, got %d", len(widths)-1, len(fanout))
+	}
+	b := NewBuilder()
+	ids := make([][]SwitchID, len(widths))
+	for s, w := range widths {
+		if w <= 0 {
+			return nil, fmt.Errorf("topology: stage %d has non-positive width %d", s, w)
+		}
+		ids[s] = make([]SwitchID, w)
+		for i := 0; i < w; i++ {
+			pod := -1
+			if s < len(widths)-1 {
+				pod = 0
+			}
+			ids[s][i] = b.AddSwitch(fmt.Sprintf("s%d-%d", s, i), Stage(s), pod)
+		}
+	}
+	for s := 0; s < len(widths)-1; s++ {
+		f := fanout[s]
+		if f <= 0 || f > widths[s+1] {
+			return nil, fmt.Errorf("topology: stage %d fanout %d out of range (next width %d)", s, f, widths[s+1])
+		}
+		for i, sw := range ids[s] {
+			for j := 0; j < f; j++ {
+				up := ids[s+1][(i*f+j)%widths[s+1]]
+				b.AddLink(sw, up, -1)
+			}
+		}
+	}
+	return b.Build()
+}

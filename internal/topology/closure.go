@@ -1,0 +1,84 @@
+package topology
+
+// Structural closure queries used by the optimizer's topology pruning
+// (§5.1, Figure 11) and by the spatial-locality analysis (§3).
+
+// DownstreamToRs returns the ToRs whose valley-free spine paths can traverse
+// link l: exactly the ToRs reachable by walking downward from l's lower
+// endpoint. The fast checker only needs to re-check the capacity constraints
+// of these ToRs when deciding whether l can be disabled.
+func (t *Topology) DownstreamToRs(l LinkID) []SwitchID {
+	lower := t.Link(l).Lower
+	return t.torsBelow(lower)
+}
+
+// torsBelow walks downward from s collecting stage-0 switches.
+func (t *Topology) torsBelow(s SwitchID) []SwitchID {
+	if t.Switch(s).Stage == 0 {
+		return []SwitchID{s}
+	}
+	var tors []SwitchID
+	seen := make(map[SwitchID]bool)
+	stack := []SwitchID{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sw := t.Switch(cur)
+		if sw.Stage == 0 {
+			tors = append(tors, cur)
+			continue
+		}
+		for _, dl := range sw.Downlinks {
+			nxt := t.Link(dl).Lower
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	return tors
+}
+
+// UpstreamLinks returns every link that lies on some valley-free path from
+// any ToR in tors to the spine. Disabling links outside this set cannot
+// change those ToRs' path counts, which is what justifies the optimizer's
+// pruning step: corrupting links not upstream of any at-risk ToR can be
+// disabled unconditionally.
+func (t *Topology) UpstreamLinks(tors []SwitchID) map[LinkID]bool {
+	links := make(map[LinkID]bool)
+	seen := make(map[SwitchID]bool)
+	stack := make([]SwitchID, 0, len(tors))
+	for _, tor := range tors {
+		if !seen[tor] {
+			seen[tor] = true
+			stack = append(stack, tor)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ul := range t.Switch(cur).Uplinks {
+			links[ul] = true
+			nxt := t.Link(ul).Upper
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	return links
+}
+
+// SwitchesWithLinks returns the distinct switches touched by the given
+// links (either endpoint). The locality analysis of Figure 4 is a ratio of
+// such switch-set sizes.
+func (t *Topology) SwitchesWithLinks(links []LinkID) map[SwitchID]bool {
+	out := make(map[SwitchID]bool)
+	for _, l := range links {
+		lk := t.Link(l)
+		out[lk.Lower] = true
+		out[lk.Upper] = true
+	}
+	return out
+}

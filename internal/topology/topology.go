@@ -1,0 +1,272 @@
+// Package topology models multi-stage Clos data center networks: switches
+// arranged in stages (ToR at the bottom, spine at the top), bidirectional
+// optical links between adjacent stages, pods, and breakout-cable groups.
+//
+// It provides the structural queries CorrOpt's algorithms are built on:
+// valley-free path counting from every ToR to the spine (total and under a
+// set of disabled links), and upstream/downstream closures used by the
+// optimizer's topology pruning.
+//
+// A Topology is immutable once built. Mutable link state (enabled/disabled,
+// corrupting) lives with the algorithms that own it, so several mitigation
+// strategies can be simulated against one topology concurrently.
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SwitchID identifies a switch within one Topology.
+type SwitchID int32
+
+// LinkID identifies a bidirectional link within one Topology.
+type LinkID int32
+
+// NoSwitch and NoLink are sentinel invalid identifiers.
+const (
+	NoSwitch SwitchID = -1
+	NoLink   LinkID   = -1
+)
+
+// Stage is the vertical position of a switch: 0 for ToR, increasing toward
+// the spine. The paper's "r tiers above the ToR-level" corresponds to a
+// topology whose top stage is r.
+type Stage int
+
+// Switch is one network switch.
+type Switch struct {
+	ID    SwitchID
+	Name  string
+	Stage Stage
+	// Pod groups switches that share a pod; -1 for spine switches.
+	Pod int
+	// Uplinks are links whose lower endpoint is this switch.
+	Uplinks []LinkID
+	// Downlinks are links whose upper endpoint is this switch.
+	Downlinks []LinkID
+}
+
+// Link is a bidirectional switch-to-switch optical link between adjacent
+// stages. Corruption is directional (§3: only 8.2% of corrupting links
+// corrupt both ways) but disabling a link always takes down both directions,
+// as current hardware cannot run unidirectional links.
+type Link struct {
+	ID LinkID
+	// Lower is the endpoint at the smaller stage, Upper at Lower's stage+1.
+	Lower, Upper SwitchID
+	// BreakoutGroup is a shared breakout-cable identifier: links on the
+	// same switch with equal non-negative groups share a physical cable
+	// (root cause 5 in §4 takes all of them down together). -1 if none.
+	BreakoutGroup int
+}
+
+// Direction selects one of the two directions of a Link.
+type Direction int
+
+const (
+	// Up is the Lower→Upper direction (toward the spine).
+	Up Direction = iota
+	// Down is the Upper→Lower direction.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// Topology is an immutable multi-stage network.
+type Topology struct {
+	switches []Switch
+	links    []Link
+	byName   map[string]SwitchID
+	stages   int // number of stages = top stage + 1
+	tors     []SwitchID
+	spines   []SwitchID
+}
+
+// NumSwitches reports the number of switches.
+func (t *Topology) NumSwitches() int { return len(t.switches) }
+
+// NumLinks reports the number of bidirectional links.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// Stages reports the number of stages (ToR plus r tiers above it gives
+// r+1 stages).
+func (t *Topology) Stages() int { return t.stages }
+
+// Tiers reports r, the number of tiers above the ToR level, the quantity
+// that drives the switch-local checker's sc = c^(1/r) threshold mapping.
+func (t *Topology) Tiers() int { return t.stages - 1 }
+
+// Switch returns the switch with the given id. The returned pointer is into
+// the topology's storage; callers must not mutate it.
+func (t *Topology) Switch(id SwitchID) *Switch { return &t.switches[id] }
+
+// Link returns the link with the given id. The returned pointer is into the
+// topology's storage; callers must not mutate it.
+func (t *Topology) Link(id LinkID) *Link { return &t.links[id] }
+
+// SwitchByName looks a switch up by name.
+func (t *Topology) SwitchByName(name string) (SwitchID, bool) {
+	id, ok := t.byName[name]
+	return id, ok
+}
+
+// ToRs returns the stage-0 switches. The returned slice is shared; callers
+// must not mutate it.
+func (t *Topology) ToRs() []SwitchID { return t.tors }
+
+// Spines returns the top-stage switches. The returned slice is shared;
+// callers must not mutate it.
+func (t *Topology) Spines() []SwitchID { return t.spines }
+
+// Switches calls fn for every switch in id order.
+func (t *Topology) Switches(fn func(*Switch)) {
+	for i := range t.switches {
+		fn(&t.switches[i])
+	}
+}
+
+// Links calls fn for every link in id order.
+func (t *Topology) Links(fn func(*Link)) {
+	for i := range t.links {
+		fn(&t.links[i])
+	}
+}
+
+// Opposite returns the switch on the other end of link l from s.
+func (t *Topology) Opposite(l LinkID, s SwitchID) SwitchID {
+	lk := &t.links[l]
+	if lk.Lower == s {
+		return lk.Upper
+	}
+	return lk.Lower
+}
+
+// LinksOnSwitch returns all links (up and down) attached to s.
+func (t *Topology) LinksOnSwitch(s SwitchID) []LinkID {
+	sw := &t.switches[s]
+	out := make([]LinkID, 0, len(sw.Uplinks)+len(sw.Downlinks))
+	out = append(out, sw.Uplinks...)
+	out = append(out, sw.Downlinks...)
+	return out
+}
+
+// SameBreakout returns the links that share l's breakout cable, including l
+// itself. A link with no breakout group is alone in its cable.
+func (t *Topology) SameBreakout(l LinkID) []LinkID {
+	lk := &t.links[l]
+	if lk.BreakoutGroup < 0 {
+		return []LinkID{l}
+	}
+	var out []LinkID
+	for _, cand := range t.LinksOnSwitch(lk.Lower) {
+		c := &t.links[cand]
+		if c.BreakoutGroup == lk.BreakoutGroup && sharesEndpoint(c, lk) {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func sharesEndpoint(a, b *Link) bool {
+	return a.Lower == b.Lower || a.Lower == b.Upper || a.Upper == b.Lower || a.Upper == b.Upper
+}
+
+// Builder assembles a Topology. It is the low-level construction interface;
+// most callers use the Clos or fat-tree generators instead. Builders are not
+// safe for concurrent use.
+type Builder struct {
+	t   Topology
+	err error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{t: Topology{byName: make(map[string]SwitchID)}}
+}
+
+// AddSwitch adds a switch and returns its id. Names must be unique.
+func (b *Builder) AddSwitch(name string, stage Stage, pod int) SwitchID {
+	if b.err != nil {
+		return NoSwitch
+	}
+	if stage < 0 {
+		b.err = fmt.Errorf("topology: switch %q has negative stage %d", name, stage)
+		return NoSwitch
+	}
+	if _, dup := b.t.byName[name]; dup {
+		b.err = fmt.Errorf("topology: duplicate switch name %q", name)
+		return NoSwitch
+	}
+	id := SwitchID(len(b.t.switches))
+	b.t.switches = append(b.t.switches, Switch{ID: id, Name: name, Stage: stage, Pod: pod})
+	b.t.byName[name] = id
+	return id
+}
+
+// AddLink adds a bidirectional link between lower and upper, which must sit
+// on adjacent stages (upper one stage above lower). breakoutGroup is -1 for
+// links not on a breakout cable.
+func (b *Builder) AddLink(lower, upper SwitchID, breakoutGroup int) LinkID {
+	if b.err != nil {
+		return NoLink
+	}
+	if int(lower) >= len(b.t.switches) || int(upper) >= len(b.t.switches) || lower < 0 || upper < 0 {
+		b.err = fmt.Errorf("topology: link endpoints out of range (%d, %d)", lower, upper)
+		return NoLink
+	}
+	lo, up := &b.t.switches[lower], &b.t.switches[upper]
+	if up.Stage != lo.Stage+1 {
+		b.err = fmt.Errorf("topology: link %s(stage %d) -> %s(stage %d) does not connect adjacent stages",
+			lo.Name, lo.Stage, up.Name, up.Stage)
+		return NoLink
+	}
+	id := LinkID(len(b.t.links))
+	b.t.links = append(b.t.links, Link{ID: id, Lower: lower, Upper: upper, BreakoutGroup: breakoutGroup})
+	lo.Uplinks = append(lo.Uplinks, id)
+	up.Downlinks = append(up.Downlinks, id)
+	return id
+}
+
+// Build validates the topology and returns it. After Build the Builder must
+// not be reused.
+func (b *Builder) Build() (*Topology, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	t := &b.t
+	if len(t.switches) == 0 {
+		return nil, fmt.Errorf("topology: no switches")
+	}
+	top := Stage(0)
+	for i := range t.switches {
+		if s := t.switches[i].Stage; s > top {
+			top = s
+		}
+	}
+	t.stages = int(top) + 1
+	for i := range t.switches {
+		sw := &t.switches[i]
+		switch {
+		case sw.Stage == 0:
+			t.tors = append(t.tors, sw.ID)
+		case sw.Stage == top:
+			t.spines = append(t.spines, sw.ID)
+		}
+		if sw.Stage < top && len(sw.Uplinks) == 0 {
+			return nil, fmt.Errorf("topology: switch %q at stage %d has no uplinks", sw.Name, sw.Stage)
+		}
+	}
+	if len(t.tors) == 0 {
+		return nil, fmt.Errorf("topology: no ToR (stage 0) switches")
+	}
+	sort.Slice(t.tors, func(i, j int) bool { return t.tors[i] < t.tors[j] })
+	sort.Slice(t.spines, func(i, j int) bool { return t.spines[i] < t.spines[j] })
+	return t, nil
+}

@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead ensures arbitrary trace files never panic the reader and that
+// whatever parses re-serializes loss-free.
+func FuzzRead(f *testing.F) {
+	f.Add(`{"id":1,"cause":"damaged-fiber","start_ns":0,"effects":[{"link":3,"loss_from":[11,11]}]}`)
+	f.Add(`{"id":2,"cause":"bad-transceiver","start_ns":5,"reseatable":true,"effects":[{"link":0,"rate":[0.01,0]}]}`)
+	f.Add(`{not json`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		faults, err := Read(strings.NewReader(line))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, faults); err != nil {
+			t.Fatalf("re-write failed: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if len(again) != len(faults) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(faults))
+		}
+	})
+}

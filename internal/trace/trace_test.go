@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"corropt/internal/faults"
+	"corropt/internal/optics"
+	"corropt/internal/rngutil"
+	"corropt/internal/topology"
+)
+
+func genTrace(t *testing.T) []*faults.Fault {
+	t.Helper()
+	topo, err := topology.NewClos(topology.ClosConfig{
+		Pods: 2, ToRsPerPod: 4, AggsPerPod: 4, Spines: 8, SpineUplinksPerAgg: 4, BreakoutSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := optics.Technology{Name: "t", NominalTx: 0, TxThreshold: -4, RxThreshold: -10, PathLoss: 3}
+	inj, err := faults.NewInjector(topo, tech, faults.InjectorConfig{FaultsPerLinkPerDay: 0.02}, rngutil.New(9).Split("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj.Generate(30 * 24 * time.Hour)
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := genTrace(t)
+	if len(in) < 20 {
+		t.Fatalf("trace too small: %d", len(in))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length changed: %d vs %d", len(out), len(in))
+	}
+	for i := range in {
+		if !reflect.DeepEqual(in[i], out[i]) {
+			t.Fatalf("fault %d changed:\n in: %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"id":1,"cause":"alien-interference","start_ns":0,"effects":[{"link":0}]}`,
+		`{"id":1,"cause":"damaged-fiber","start_ns":0,"effects":[]}`,
+		`{"id":1,"cause":"damaged-fiber","start_ns":0,"effects":[{"link":-3}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	in := genTrace(t)[:3]
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	padded := "\n" + strings.ReplaceAll(buf.String(), "\n", "\n\n")
+	out, err := Read(strings.NewReader(padded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d faults", len(out))
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil || out != nil {
+		t.Fatalf("empty round trip: %v %v", out, err)
+	}
+}
