@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race fuzz bench clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: the parallel-optimizer and incremental-engine paths under the race
+## detector (Workers>1 workers each own a cloned PathCounter scratch).
+race:
+	$(GO) test -race ./internal/core/... ./internal/topology/...
+
+## fuzz: short smoke runs of the differential fuzzers that pin the scoped +
+## incremental path-counting engines to the full-sweep reference.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzCountScoped -fuzztime 10s ./internal/topology
+	$(GO) test -run '^$$' -fuzz FuzzIncrementalCounts -fuzztime 10s ./internal/topology
+	$(GO) test -run '^$$' -fuzz FuzzFastCheckDifferential -fuzztime 10s ./internal/core
+
+## bench: core mitigation-engine benchmarks (fast checker, optimizer,
+## path counting), 5 repetitions with allocation stats; raw text goes to
+## BENCH_core.txt and a parsed summary to BENCH_core.json.
+bench:
+	./scripts/bench.sh
+
+clean:
+	rm -f BENCH_core.txt BENCH_core.json

@@ -145,7 +145,9 @@ func BenchmarkOptimizer(b *testing.B) {
 }
 
 // BenchmarkPathCounting measures the O(|V|+|E|) valley-free path count
-// sweep that underlies every capacity check.
+// sweep that underlies every capacity check in the legacy full-recount
+// path. The scoped and incremental variants below are its replacements on
+// the hot paths; comparing the three quantifies the engine's win.
 func BenchmarkPathCounting(b *testing.B) {
 	topo, err := experiments.DCN(experiments.ScaleLarge)
 	if err != nil {
@@ -156,6 +158,47 @@ func BenchmarkPathCounting(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pc.Count(disabled)
+	}
+}
+
+// BenchmarkPathCountingScoped measures one scoped count over a single
+// ToR's upward cone on the large DCN — the unit of work of a segment
+// feasibility check, O(cone) instead of O(|V|+|E|).
+func BenchmarkPathCountingScoped(b *testing.B) {
+	b.ReportAllocs()
+	topo, err := experiments.DCN(experiments.ScaleLarge)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc := topology.NewPathCounter(topo)
+	disabled := topology.NewLinkSet(topo.NumLinks())
+	for l := 0; l < topo.NumLinks(); l += 97 {
+		disabled.Add(topology.LinkID(l))
+	}
+	tors := []topology.SwitchID{topo.ToRs()[0]}
+	b.ReportMetric(float64(pc.ScopeSize(tors)), "cone-switches")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc.CountScopedSet(tors, disabled, nil)
+	}
+}
+
+// BenchmarkPathCountingIncremental measures one Apply+Revert delta pair on
+// the large DCN — the unit of work of the fast checker's probe and the
+// optimizer DFS's branch step.
+func BenchmarkPathCountingIncremental(b *testing.B) {
+	b.ReportAllocs()
+	topo, err := experiments.DCN(experiments.ScaleLarge)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc := topology.NewPathCounter(topo)
+	links := topo.Switch(topo.ToRs()[0]).Uplinks
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := links[i%len(links)]
+		pc.Apply(l)
+		pc.Revert(l)
 	}
 }
 

@@ -50,8 +50,12 @@ type (
 	LinkID = topology.LinkID
 	// Direction selects one direction of a link.
 	Direction = topology.Direction
-	// PathCounter counts valley-free ToR→spine paths.
+	// PathCounter counts valley-free ToR→spine paths, with full-sweep,
+	// scoped, and incremental (Apply/Revert delta) engines.
 	PathCounter = topology.PathCounter
+	// LinkSet is a bitset over LinkIDs, the hot-path representation of
+	// disabled-link sets.
+	LinkSet = topology.LinkSet
 )
 
 // Direction values.
@@ -71,6 +75,9 @@ func NewBuilder() *Builder { return topology.NewBuilder() }
 
 // NewPathCounter returns a valley-free path counter over t.
 func NewPathCounter(t *Topology) *PathCounter { return topology.NewPathCounter(t) }
+
+// NewLinkSet returns an empty link bitset sized for numLinks links.
+func NewLinkSet(numLinks int) *LinkSet { return topology.NewLinkSet(numLinks) }
 
 // Mitigation (the paper's contribution).
 type (

@@ -66,7 +66,11 @@ func (e *Engine) Threshold() float64 { return e.threshold }
 // ReportCorruption handles a new corruption report for link l at the given
 // worst-direction rate: it records the rate and, if the rate is at or above
 // the detection threshold, runs the fast checker and disables the link when
-// capacity allows.
+// capacity allows. The whole decision is incremental — an Apply/Revert
+// probe over l's downstream cone plus, on success, one Apply to commit —
+// so a report costs microseconds even on the largest topologies, and the
+// engine can absorb report storms (e.g. a breakout cable taking 8 links
+// down at once) without re-sweeping the data center per link.
 func (e *Engine) ReportCorruption(l topology.LinkID, rate float64) Decision {
 	e.net.SetCorruption(l, rate)
 	d := Decision{Link: l}

@@ -1,15 +1,22 @@
 package core
 
-import "corropt/internal/topology"
+import (
+	"sort"
+
+	"corropt/internal/topology"
+)
 
 // FastChecker implements CorrOpt's first phase (§5.1): when a link starts
 // corrupting packets, decide quickly — but using global path counts rather
 // than a switch-local rule — whether it can be disabled without violating
 // any ToR's capacity constraint.
 //
-// The check counts the valley-free paths of every ToR with the candidate
-// link removed, one O(|V|+|E|) bottom-up sweep, so a decision takes
-// milliseconds even on the largest data centers the paper studies.
+// The check is incremental: disabling the candidate link is probed with an
+// Apply/Revert delta pair on the network's path counter, touching only the
+// link's downstream cone (one pod or less on a Clos topology) instead of
+// re-sweeping the whole data center. The paper reports 100–300 ms per
+// decision for its full-recount Python prototype on a 35K-link data center;
+// the incremental engine answers in microseconds with zero allocations.
 type FastChecker struct {
 	net *Network
 }
@@ -21,13 +28,41 @@ func NewFastChecker(net *Network) *FastChecker { return &FastChecker{net: net} }
 // violating any ToR capacity constraint. Already-disabled links are
 // trivially "disableable" (no state change).
 func (fc *FastChecker) CanDisable(l topology.LinkID) bool {
-	if fc.net.Disabled(l) {
+	n := fc.net
+	if n.Disabled(l) {
 		return true
 	}
-	// Only ToRs downstream of l can lose paths; checking just those is the
-	// paper's "check the downstream of l" refinement.
-	tors := fc.net.Topology().DownstreamToRs(l)
-	return fc.net.FeasibleToRs(tors, map[topology.LinkID]bool{l: true})
+	pc := n.PathCounter()
+	// Probe: apply the single-link delta, inspect, revert. Only ToRs
+	// downstream of l can lose paths — the paper's "check the downstream of
+	// l" refinement — and the propagation visits exactly those whose counts
+	// actually change.
+	changed := pc.Apply(l)
+	counts, total := pc.IncCounts(), pc.Total()
+	ok := true
+	if n.numViolated == 0 {
+		// Every ToR meets its constraint right now, so ToRs whose counts
+		// did not change still do; checking the changed set is exact.
+		for _, tor := range changed {
+			if !n.meets(tor, counts, total) {
+				ok = false
+				break
+			}
+		}
+	} else {
+		// Rare path: some ToR is already in violation (links were forced
+		// down or constraints tightened). Match the full-check semantics,
+		// which refuses when any downstream ToR of l is infeasible even if
+		// l does not change its count.
+		for _, tor := range n.topo.DownstreamToRs(l) {
+			if !n.meets(tor, counts, total) {
+				ok = false
+				break
+			}
+		}
+	}
+	pc.Revert(l)
+	return ok
 }
 
 // DisableIfSafe disables l if the capacity constraints allow it and reports
@@ -53,12 +88,15 @@ func (fc *FastChecker) DisableIfSafe(l topology.LinkID) bool {
 // so Sweep only needs to run on new corrupting links or after activations.
 func (fc *FastChecker) Sweep(threshold float64) []topology.LinkID {
 	active := fc.net.ActiveCorrupting(threshold)
-	// Sort by corruption rate, highest first.
-	for i := 1; i < len(active); i++ {
-		for j := i; j > 0 && fc.net.CorruptionRate(active[j]) > fc.net.CorruptionRate(active[j-1]); j-- {
-			active[j], active[j-1] = active[j-1], active[j]
+	// Sort by corruption rate, highest first; ties broken by LinkID so the
+	// sweep order (and therefore the disabled set) is deterministic.
+	sort.Slice(active, func(i, j int) bool {
+		ri, rj := fc.net.CorruptionRate(active[i]), fc.net.CorruptionRate(active[j])
+		if ri != rj {
+			return ri > rj
 		}
-	}
+		return active[i] < active[j]
+	})
 	var disabled []topology.LinkID
 	for _, l := range active {
 		if fc.DisableIfSafe(l) {

@@ -1,8 +1,8 @@
 // Package core implements CorrOpt, the corruption-mitigation system of
 // "Understanding and Mitigating Packet Corruption in Data Center Networks"
-// (SIGCOMM 2017): the fast checker that decides in O(|E|) whether a newly
-// corrupting link can be disabled without violating per-ToR capacity
-// constraints, the optimizer that computes the exact optimal set of
+// (SIGCOMM 2017): the fast checker that decides in O(downstream cone)
+// whether a newly corrupting link can be disabled without violating per-ToR
+// capacity constraints, the optimizer that computes the exact optimal set of
 // corrupting links to disable (topology pruning + segmentation + reject
 // cache over an NP-complete search space), the switch-local baseline used in
 // production before CorrOpt, and the root-cause-aware repair recommendation
@@ -19,12 +19,25 @@ import (
 // links are administratively disabled, which enabled links are corrupting
 // and how badly, and the per-ToR capacity constraints.
 //
+// Network keeps its path counter in incremental mode, mirroring the
+// disabled set at all times: Disable and Enable propagate exact count
+// deltas through the toggled link's downstream cone instead of triggering
+// full recounts, and the per-ToR constraint status (meets/violates) is
+// maintained alongside. Capacity metrics over the *current* state —
+// ViolatedToRs(nil), Feasible(nil), WorstToRFraction, MeanToRFraction —
+// are therefore O(|ToRs|) reads, not O(|V|+|E|) sweeps.
+//
 // Network is not safe for concurrent use.
 type Network struct {
 	topo *topology.Topology
 	pc   *topology.PathCounter
-	// disabled marks administratively-down links.
-	disabled []bool
+	// disabled is the administratively-down link set, aliasing the path
+	// counter's incremental set (the counter owns it; Network mutates it
+	// only through Apply/Revert).
+	disabled *topology.LinkSet
+	// numDisabled counts set bits in disabled, maintained on toggle so
+	// NumDisabled is O(1).
+	numDisabled int
 	// rate holds the worst-direction corruption rate per link; zero for
 	// healthy links. Disabled links keep their rate so that re-enabling a
 	// still-broken link is visible to the caller.
@@ -33,6 +46,11 @@ type Network struct {
 	// paths that must remain available, indexed by SwitchID (non-ToR
 	// entries unused).
 	constraint []float64
+	// meetsNow caches, per ToR SwitchID, whether the ToR currently meets
+	// its constraint under the incremental counts; numViolated counts the
+	// ToRs that do not.
+	meetsNow    []bool
+	numViolated int
 }
 
 // constraintSlack absorbs float64 rounding when comparing exact integer
@@ -45,16 +63,19 @@ func NewNetwork(topo *topology.Topology, c float64) (*Network, error) {
 	if c < 0 || c > 1 {
 		return nil, fmt.Errorf("core: capacity constraint %v out of [0,1]", c)
 	}
+	pc := topology.NewPathCounter(topo)
 	n := &Network{
 		topo:       topo,
-		pc:         topology.NewPathCounter(topo),
-		disabled:   make([]bool, topo.NumLinks()),
+		pc:         pc,
+		disabled:   pc.IncDisabled(),
 		rate:       make([]float64, topo.NumLinks()),
 		constraint: make([]float64, topo.NumSwitches()),
+		meetsNow:   make([]bool, topo.NumSwitches()),
 	}
 	for _, tor := range topo.ToRs() {
 		n.constraint[tor] = c
 	}
+	n.recomputeViolated()
 	return n, nil
 }
 
@@ -63,7 +84,8 @@ func (n *Network) Topology() *topology.Topology { return n.topo }
 
 // PathCounter exposes the network's path counter for callers computing
 // custom capacity metrics. The counter shares scratch space with the
-// Network; do not use it concurrently with Network methods.
+// Network; do not use it concurrently with Network methods, and restore any
+// Apply/Revert probes before returning control to the Network.
 func (n *Network) PathCounter() *topology.PathCounter { return n.pc }
 
 // SetToRConstraint overrides the capacity constraint of one ToR. Traffic
@@ -76,36 +98,47 @@ func (n *Network) SetToRConstraint(tor topology.SwitchID, c float64) error {
 		return fmt.Errorf("core: switch %q is not a ToR", n.topo.Switch(tor).Name)
 	}
 	n.constraint[tor] = c
+	n.refreshToR(tor)
 	return nil
 }
 
 // Constraint reports the capacity constraint of a ToR.
 func (n *Network) Constraint(tor topology.SwitchID) float64 { return n.constraint[tor] }
 
-// Disable administratively takes link l down (both directions).
-func (n *Network) Disable(l topology.LinkID) { n.disabled[l] = true }
+// Disable administratively takes link l down (both directions), updating
+// path counts incrementally through l's downstream cone.
+func (n *Network) Disable(l topology.LinkID) {
+	if n.disabled.Has(l) {
+		return
+	}
+	n.numDisabled++
+	n.refreshToRs(n.pc.Apply(l))
+}
 
-// Enable brings link l back up.
-func (n *Network) Enable(l topology.LinkID) { n.disabled[l] = false }
+// Enable brings link l back up, updating path counts incrementally.
+func (n *Network) Enable(l topology.LinkID) {
+	if !n.disabled.Has(l) {
+		return
+	}
+	n.numDisabled--
+	n.refreshToRs(n.pc.Revert(l))
+}
 
 // Disabled reports whether link l is administratively down.
-func (n *Network) Disabled(l topology.LinkID) bool { return n.disabled[l] }
+func (n *Network) Disabled(l topology.LinkID) bool { return n.disabled.Has(l) }
+
+// DisabledLinks returns the disabled set as a bitset. The set is live and
+// owned by the Network; callers must not mutate it.
+func (n *Network) DisabledLinks() *topology.LinkSet { return n.disabled }
 
 // DisabledFunc returns the link-disabled predicate for path counting.
 func (n *Network) DisabledFunc() topology.DisabledFunc {
-	return func(l topology.LinkID) bool { return n.disabled[l] }
+	return n.disabled.Func()
 }
 
-// NumDisabled reports how many links are currently disabled.
-func (n *Network) NumDisabled() int {
-	c := 0
-	for _, d := range n.disabled {
-		if d {
-			c++
-		}
-	}
-	return c
-}
+// NumDisabled reports how many links are currently disabled. O(1): the
+// count is maintained by Disable/Enable.
+func (n *Network) NumDisabled() int { return n.numDisabled }
 
 // SetCorruption records the observed worst-direction corruption rate of
 // link l; zero clears it (the link has been repaired or was misdetected).
@@ -119,7 +152,7 @@ func (n *Network) CorruptionRate(l topology.LinkID) float64 { return n.rate[l] }
 func (n *Network) ActiveCorrupting(threshold float64) []topology.LinkID {
 	var out []topology.LinkID
 	for l := range n.rate {
-		if !n.disabled[l] && n.rate[l] >= threshold {
+		if n.rate[l] >= threshold && !n.disabled.Has(topology.LinkID(l)) {
 			out = append(out, topology.LinkID(l))
 		}
 	}
@@ -136,10 +169,67 @@ func (n *Network) meets(tor topology.SwitchID, counts, total []int64) bool {
 	return frac+constraintSlack >= n.constraint[tor]
 }
 
+// refreshToR re-evaluates one ToR's constraint status against the
+// incremental counts, maintaining numViolated.
+func (n *Network) refreshToR(tor topology.SwitchID) {
+	now := n.meets(tor, n.pc.IncCounts(), n.pc.Total())
+	if now != n.meetsNow[tor] {
+		n.meetsNow[tor] = now
+		if now {
+			n.numViolated--
+		} else {
+			n.numViolated++
+		}
+	}
+}
+
+// refreshToRs re-evaluates the given ToRs (typically the changed set of an
+// incremental toggle).
+func (n *Network) refreshToRs(tors []topology.SwitchID) {
+	for _, tor := range tors {
+		n.refreshToR(tor)
+	}
+}
+
+// recomputeViolated rebuilds the per-ToR constraint status from scratch.
+func (n *Network) recomputeViolated() {
+	n.numViolated = 0
+	counts, total := n.pc.IncCounts(), n.pc.Total()
+	for _, tor := range n.topo.ToRs() {
+		ok := n.meets(tor, counts, total)
+		n.meetsNow[tor] = ok
+		if !ok {
+			n.numViolated++
+		}
+	}
+}
+
+// resetState replaces the disabled set wholesale (used by LoadState): one
+// full incremental re-sweep, then a constraint-status rebuild.
+func (n *Network) resetState(disabled []topology.LinkID) {
+	set := topology.NewLinkSet(n.topo.NumLinks())
+	for _, l := range disabled {
+		set.Add(l)
+	}
+	n.pc.ResetIncremental(set)
+	n.numDisabled = n.disabled.Len()
+	n.recomputeViolated()
+}
+
 // ViolatedToRs returns the ToRs whose capacity constraints are violated
 // when, in addition to the currently disabled links, every link in extra is
-// disabled. A nil extra checks the current state.
+// disabled. A nil extra checks the current state in O(|ToRs|) using the
+// incrementally-maintained constraint status.
 func (n *Network) ViolatedToRs(extra map[topology.LinkID]bool) []topology.SwitchID {
+	if extra == nil {
+		var out []topology.SwitchID
+		for _, tor := range n.topo.ToRs() {
+			if !n.meetsNow[tor] {
+				out = append(out, tor)
+			}
+		}
+		return out
+	}
 	counts := n.pc.Count(n.composite(extra))
 	total := n.pc.Total()
 	var out []topology.SwitchID
@@ -151,20 +241,42 @@ func (n *Network) ViolatedToRs(extra map[topology.LinkID]bool) []topology.Switch
 	return out
 }
 
-// FeasibleToRs reports whether every ToR in tors meets its constraint with
-// the current disabled set plus extra. Restricting the check to affected
-// ToRs is what keeps the optimizer's inner loop cheap.
-func (n *Network) FeasibleToRs(tors []topology.SwitchID, extra map[topology.LinkID]bool) bool {
-	return n.feasibleToRsWith(n.pc, tors, extra)
+// violatedUnder returns the ToRs violated when, in addition to the current
+// disabled set, every link in extra is disabled — evaluated by incremental
+// Apply probes (one downstream-cone delta per link) instead of a full
+// topology sweep, and fully reverted before returning.
+func (n *Network) violatedUnder(extra []topology.LinkID) []topology.SwitchID {
+	applied := make([]topology.LinkID, 0, len(extra))
+	for _, l := range extra {
+		if !n.disabled.Has(l) {
+			n.pc.Apply(l)
+			applied = append(applied, l)
+		}
+	}
+	counts, total := n.pc.IncCounts(), n.pc.Total()
+	var out []topology.SwitchID
+	for _, tor := range n.topo.ToRs() {
+		if !n.meets(tor, counts, total) {
+			out = append(out, tor)
+		}
+	}
+	for _, l := range applied {
+		n.pc.Revert(l)
+	}
+	return out
 }
 
-// feasibleToRsWith is FeasibleToRs evaluated on a caller-supplied path
-// counter. The parallel optimizer gives each worker its own counter so
-// feasibility checks can run concurrently; during that phase the disabled
-// set and constraints are read-only, which is what makes this safe.
-func (n *Network) feasibleToRsWith(pc *topology.PathCounter, tors []topology.SwitchID, extra map[topology.LinkID]bool) bool {
-	counts := pc.Count(n.composite(extra))
-	total := pc.Total()
+// FeasibleToRs reports whether every ToR in tors meets its constraint with
+// the current disabled set plus extra. The count is scoped to the upward
+// closure of tors, so the check touches O(cone) switches, not O(|V|).
+func (n *Network) FeasibleToRs(tors []topology.SwitchID, extra map[topology.LinkID]bool) bool {
+	counts := n.pc.CountScoped(tors, n.composite(extra))
+	return n.meetsAll(tors, counts, n.pc.Total())
+}
+
+// meetsAll reports whether every ToR in tors meets its constraint under the
+// given counts.
+func (n *Network) meetsAll(tors []topology.SwitchID, counts, total []int64) bool {
 	for _, tor := range tors {
 		if !n.meets(tor, counts, total) {
 			return false
@@ -174,8 +286,11 @@ func (n *Network) feasibleToRsWith(pc *topology.PathCounter, tors []topology.Swi
 }
 
 // Feasible reports whether every ToR meets its constraint with the current
-// disabled set plus extra.
+// disabled set plus extra. A nil extra is O(1).
 func (n *Network) Feasible(extra map[topology.LinkID]bool) bool {
+	if extra == nil {
+		return n.numViolated == 0
+	}
 	return len(n.ViolatedToRs(extra)) == 0
 }
 
@@ -184,19 +299,42 @@ func (n *Network) composite(extra map[topology.LinkID]bool) topology.DisabledFun
 	if extra == nil {
 		return n.DisabledFunc()
 	}
-	return func(l topology.LinkID) bool { return n.disabled[l] || extra[l] }
+	return func(l topology.LinkID) bool { return n.disabled.Has(l) || extra[l] }
 }
 
 // WorstToRFraction reports the minimum per-ToR available-path fraction in
-// the current state (Figures 15 and 16).
+// the current state (Figures 15 and 16). O(|ToRs|): reads the incremental
+// counts directly.
 func (n *Network) WorstToRFraction() float64 {
-	return n.pc.WorstToRFraction(n.DisabledFunc())
+	counts, total := n.pc.IncCounts(), n.pc.Total()
+	worst := 1.0
+	for _, tor := range n.topo.ToRs() {
+		var f float64
+		if total[tor] > 0 {
+			f = float64(counts[tor]) / float64(total[tor])
+		}
+		if f < worst {
+			worst = f
+		}
+	}
+	return worst
 }
 
 // MeanToRFraction reports the average per-ToR available-path fraction in
-// the current state (§7.3's capacity-cost metric).
+// the current state (§7.3's capacity-cost metric). O(|ToRs|).
 func (n *Network) MeanToRFraction() float64 {
-	return n.pc.MeanToRFraction(n.DisabledFunc())
+	tors := n.topo.ToRs()
+	if len(tors) == 0 {
+		return 0
+	}
+	counts, total := n.pc.IncCounts(), n.pc.Total()
+	sum := 0.0
+	for _, tor := range tors {
+		if total[tor] > 0 {
+			sum += float64(counts[tor]) / float64(total[tor])
+		}
+	}
+	return sum / float64(len(tors))
 }
 
 // TotalPenalty sums penalty(rate) over enabled corrupting links: the
@@ -204,7 +342,7 @@ func (n *Network) MeanToRFraction() float64 {
 func (n *Network) TotalPenalty(p PenaltyFunc) float64 {
 	sum := 0.0
 	for l, r := range n.rate {
-		if r > 0 && !n.disabled[l] {
+		if r > 0 && !n.disabled.Has(topology.LinkID(l)) {
 			sum += p(r)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sort"
 
 	"corropt/internal/topology"
@@ -28,10 +29,15 @@ type OptimizerConfig struct {
 	// 500000. The result is then maximal-feasible but possibly not
 	// optimal; Stats.BudgetExhausted records the event.
 	MaxFeasibilityChecks int
+	// MaxRejectCacheEntries caps the per-segment reject cache; when full,
+	// the least-general (largest) cached subset is evicted and
+	// Stats.RejectCacheEvictions incremented. Default 4096.
+	MaxRejectCacheEntries int
 	// Workers solves independent segments concurrently when > 1, each
-	// worker with its own path counter. 0 or 1 is serial. Segments are
-	// independent by construction (§8's segmentation argument), so the
-	// answer is identical to the serial one.
+	// worker with its own path counter (incremental scratch included). 0
+	// or 1 is serial. Segments are independent by construction (§8's
+	// segmentation argument), so the answer is identical to the serial
+	// one.
 	Workers int
 }
 
@@ -44,6 +50,9 @@ func (c *OptimizerConfig) fillDefaults() {
 	}
 	if c.MaxFeasibilityChecks == 0 {
 		c.MaxFeasibilityChecks = 500000
+	}
+	if c.MaxRejectCacheEntries == 0 {
+		c.MaxRejectCacheEntries = 4096
 	}
 }
 
@@ -58,11 +67,16 @@ type OptimizeStats struct {
 	Segments int
 	// LargestSegment is the size of the biggest contested group.
 	LargestSegment int
-	// FeasibilityChecks counts full path-count evaluations.
+	// FeasibilityChecks counts feasibility evaluations (incremental
+	// Apply/check probes; the legacy full path-count sweeps are gone from
+	// this path).
 	FeasibilityChecks int
 	// RejectCacheHits counts subsets rejected by the cache without a
-	// path count.
+	// feasibility probe.
 	RejectCacheHits int
+	// RejectCacheEvictions counts cache entries dropped (or refused
+	// admission) because a segment's cache hit MaxRejectCacheEntries.
+	RejectCacheEvictions int
 	// GreedyFallbacks counts segments too large for exact search.
 	GreedyFallbacks int
 	// BudgetExhausted counts segments whose exact search ran out of its
@@ -74,7 +88,10 @@ type OptimizeStats struct {
 // re-enabled after repair, compute the optimal subset of the remaining
 // active corrupting links to disable — the exact solution to the
 // NP-complete problem of Theorem 5.1 — using topology pruning, topology
-// segmentation, and a reject cache to make practical instances fast.
+// segmentation, and a reject cache to make practical instances fast. Every
+// feasibility probe inside a segment is an incremental Apply/Revert delta
+// on a path counter rather than a full topology sweep, so the per-probe
+// cost scales with the toggled link's downstream cone.
 type Optimizer struct {
 	net     *Network
 	penalty PenaltyFunc
@@ -101,11 +118,9 @@ func (o *Optimizer) Run(threshold float64) ([]topology.LinkID, OptimizeStats) {
 		return nil, st
 	}
 
-	extra := make(map[topology.LinkID]bool, len(active))
-	for _, l := range active {
-		extra[l] = true
-	}
-	violated := o.net.ViolatedToRs(extra)
+	// What breaks if everything goes? One incremental probe per active
+	// link, not a full sweep.
+	violated := o.net.violatedUnder(active)
 	if len(violated) == 0 {
 		// Everything can go.
 		for _, l := range active {
@@ -115,13 +130,26 @@ func (o *Optimizer) Run(threshold float64) ([]topology.LinkID, OptimizeStats) {
 		return active, st
 	}
 
+	// Per-endangered-ToR upstream cones as bitsets: torUp[i] holds every
+	// link that can carry violated[i]'s traffic. Their union drives the
+	// pruning step, and the per-ToR sets drive segmentation (l affects
+	// tor ⟺ l ∈ upstream(tor) ⟺ tor ∈ downstream(l)) without the
+	// map-based downstream walks of the old implementation.
+	topo := o.net.Topology()
+	torUp := make([]*topology.LinkSet, len(violated))
+	upstream := topology.NewLinkSet(topo.NumLinks())
+	for i, tor := range violated {
+		torUp[i] = topology.NewLinkSet(topo.NumLinks())
+		topo.UpstreamLinkSet([]topology.SwitchID{tor}, torUp[i])
+		upstream.Union(torUp[i])
+	}
+
 	var safe, contested []topology.LinkID
 	if o.cfg.DisablePruning {
 		contested = active
 	} else {
-		upstream := o.net.Topology().UpstreamLinks(violated)
 		for _, l := range active {
-			if upstream[l] {
+			if upstream.Has(l) {
 				contested = append(contested, l)
 			} else {
 				safe = append(safe, l)
@@ -136,11 +164,7 @@ func (o *Optimizer) Run(threshold float64) ([]topology.LinkID, OptimizeStats) {
 	}
 
 	disabled := append([]topology.LinkID(nil), safe...)
-	violatedSet := make(map[topology.SwitchID]bool, len(violated))
-	for _, t := range violated {
-		violatedSet[t] = true
-	}
-	segs := o.segments(contested, violatedSet, &st)
+	segs := o.segments(contested, violated, torUp, &st)
 	if o.cfg.Workers > 1 && len(segs) > 1 {
 		for _, l := range o.solveParallel(segs, &st) {
 			o.net.Disable(l)
@@ -160,8 +184,9 @@ func (o *Optimizer) Run(threshold float64) ([]topology.LinkID, OptimizeStats) {
 
 // solveParallel fans the segments out over a bounded worker pool. The
 // network's disabled set and constraints are read-only while workers run;
-// every worker evaluates feasibility on its own path counter, and results
-// are applied only after all workers return.
+// every worker evaluates feasibility on its own incremental path counter
+// seeded from the network's current disabled set, and results are applied
+// only after all workers return.
 func (o *Optimizer) solveParallel(segs []segment, st *OptimizeStats) []topology.LinkID {
 	workers := o.cfg.Workers
 	if workers > len(segs) {
@@ -177,7 +202,10 @@ func (o *Optimizer) solveParallel(segs []segment, st *OptimizeStats) []topology.
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer func() { done <- struct{}{} }()
-			pc := topology.NewPathCounter(o.net.Topology())
+			// Clone the network's counter: the worker inherits the
+			// current disabled set and counts in O(|V|) copies with no
+			// sweep. The source counter is read-only while workers run.
+			pc := o.net.PathCounter().Clone()
 			for i := range jobs {
 				var local OptimizeStats
 				results[i].chosen = o.solveSegment(segs[i], pc, &local)
@@ -197,6 +225,7 @@ func (o *Optimizer) solveParallel(segs []segment, st *OptimizeStats) []topology.
 		out = append(out, res.chosen...)
 		st.FeasibilityChecks += res.stats.FeasibilityChecks
 		st.RejectCacheHits += res.stats.RejectCacheHits
+		st.RejectCacheEvictions += res.stats.RejectCacheEvictions
 		st.GreedyFallbacks += res.stats.GreedyFallbacks
 		st.BudgetExhausted += res.stats.BudgetExhausted
 	}
@@ -212,15 +241,16 @@ type segment struct {
 
 // segments groups contested links such that two links sharing an endangered
 // downstream ToR land in the same group; groups can then be optimized
-// independently (§8's topology segmentation).
-func (o *Optimizer) segments(contested []topology.LinkID, violated map[topology.SwitchID]bool, st *OptimizeStats) []segment {
+// independently (§8's topology segmentation). torUp[i] must be the upstream
+// link cone of violated[i].
+func (o *Optimizer) segments(contested []topology.LinkID, violated []topology.SwitchID, torUp []*topology.LinkSet, st *OptimizeStats) []segment {
 	if len(contested) == 0 {
 		return nil
 	}
 	affected := make([][]topology.SwitchID, len(contested))
 	for i, l := range contested {
-		for _, tor := range o.net.Topology().DownstreamToRs(l) {
-			if violated[tor] {
+		for j, tor := range violated {
+			if torUp[j].Has(l) {
 				affected[i] = append(affected[i], tor)
 			}
 		}
@@ -293,9 +323,19 @@ func dedupToRs(tors []topology.SwitchID) []topology.SwitchID {
 }
 
 // solveSegment picks the subset of seg.links to disable that maximizes the
-// disabled penalty while keeping seg.tors feasible, evaluating feasibility
-// on the supplied path counter.
+// disabled penalty while keeping seg.tors feasible. pc must be an
+// incremental path counter whose disabled set mirrors the network's current
+// one; its state is restored before returning.
 func (o *Optimizer) solveSegment(seg segment, pc *topology.PathCounter, st *OptimizeStats) []topology.LinkID {
+	// The incremental probes below only check ToRs whose counts change,
+	// which is exact while the running state stays feasible for seg.tors.
+	// If some segment ToR is infeasible before anything is disabled, every
+	// candidate subset is infeasible too (disabling links never adds
+	// paths), so the result is empty — same answer the full recount gives.
+	if !o.net.meetsAll(seg.tors, pc.IncCounts(), pc.Total()) {
+		return nil
+	}
+
 	// Highest-penalty links first: better bounds, and the greedy fallback
 	// then prefers the worst offenders.
 	links := append([]topology.LinkID(nil), seg.links...)
@@ -309,18 +349,17 @@ func (o *Optimizer) solveSegment(seg segment, pc *topology.PathCounter, st *Opti
 
 	if len(links) > o.cfg.MaxExactLinks {
 		st.GreedyFallbacks++
-		return o.greedy(links, seg.tors, pc, st)
+		return o.greedy(links, pc, st)
 	}
 
 	s := &segSolver{
 		net:      o.net,
 		pc:       pc,
-		tors:     seg.tors,
 		links:    links,
 		pen:      make([]float64, len(links)),
 		suffix:   make([]float64, len(links)+1),
-		extra:    make(map[topology.LinkID]bool, len(links)),
 		useCache: !o.cfg.DisableRejectCache,
+		cacheCap: o.cfg.MaxRejectCacheEntries,
 		budget:   o.cfg.MaxFeasibilityChecks,
 	}
 	for i, l := range links {
@@ -332,6 +371,7 @@ func (o *Optimizer) solveSegment(seg segment, pc *topology.PathCounter, st *Opti
 	s.dfs(0, 0, 0)
 	st.FeasibilityChecks += s.checks
 	st.RejectCacheHits += s.cacheHits
+	st.RejectCacheEvictions += s.cacheEvictions
 	if s.budget <= 0 {
 		st.BudgetExhausted++
 	}
@@ -345,19 +385,33 @@ func (o *Optimizer) solveSegment(seg segment, pc *topology.PathCounter, st *Opti
 }
 
 // greedy disables links one at a time, worst first, keeping each only if
-// the segment's ToRs stay feasible. The result is maximal but not
-// necessarily optimal; it is the fallback for segments beyond exact reach.
-func (o *Optimizer) greedy(links []topology.LinkID, tors []topology.SwitchID, pc *topology.PathCounter, st *OptimizeStats) []topology.LinkID {
-	extra := make(map[topology.LinkID]bool, len(links))
+// every ToR whose path count changes stays feasible. The result is maximal
+// but not necessarily optimal; it is the fallback for segments beyond exact
+// reach. The caller guarantees the starting state is feasible for the
+// segment's ToRs, which makes the changed-ToRs check exact. pc's state is
+// restored before returning.
+func (o *Optimizer) greedy(links []topology.LinkID, pc *topology.PathCounter, st *OptimizeStats) []topology.LinkID {
+	counts, total := pc.IncCounts(), pc.Total()
 	var chosen []topology.LinkID
 	for _, l := range links {
-		extra[l] = true
 		st.FeasibilityChecks++
-		if o.net.feasibleToRsWith(pc, tors, extra) {
+		ok := true
+		for _, tor := range pc.Apply(l) {
+			if !o.net.meets(tor, counts, total) {
+				ok = false
+				break
+			}
+		}
+		if ok {
 			chosen = append(chosen, l)
 		} else {
-			delete(extra, l)
+			pc.Revert(l)
 		}
+	}
+	// Restore the counter to the network's state; Run applies the chosen
+	// links through Network.Disable.
+	for _, l := range chosen {
+		pc.Revert(l)
 	}
 	return chosen
 }
@@ -366,18 +420,26 @@ func (o *Optimizer) greedy(links []topology.LinkID, tors []topology.SwitchID, pc
 // are explored by including or excluding links in penalty order; the
 // monotonicity of the capacity constraint (disabling more links never adds
 // paths) makes infeasible-subset pruning and the reject cache sound.
+//
+// Feasibility is evaluated incrementally: trying a link is one Apply delta,
+// abandoning it one Revert, and only the ToRs whose counts changed are
+// re-checked (exact because the search only stands on feasible states).
 type segSolver struct {
 	net    *Network
 	pc     *topology.PathCounter
-	tors   []topology.SwitchID
 	links  []topology.LinkID
 	pen    []float64
 	suffix []float64
-	extra  map[topology.LinkID]bool
 
 	useCache bool
-	cache    []uint64
-	budget   int
+	// cache holds infeasible subset masks ordered by ascending popcount,
+	// so a membership scan can stop as soon as cached subsets are larger
+	// than the candidate (a larger set cannot be a subset of a smaller
+	// one).
+	cache          []uint64
+	cacheCap       int
+	cacheEvictions int
+	budget         int
 
 	best     float64
 	bestMask uint64
@@ -386,6 +448,8 @@ type segSolver struct {
 	cacheHits int
 }
 
+// dfs explores subsets of links[i:] given the current mask (whose links are
+// applied on pc). It restores pc's state before returning.
 func (s *segSolver) dfs(i int, mask uint64, got float64) {
 	if got > s.best {
 		s.best = got
@@ -398,36 +462,80 @@ func (s *segSolver) dfs(i int, mask uint64, got float64) {
 	if got+s.suffix[i] <= s.best {
 		return
 	}
-	// Branch 1: disable links[i].
+	// Branch 1: disable links[i]. feasible leaves the link applied on
+	// success; revert after exploring the branch.
 	cand := mask | 1<<uint(i)
 	if s.feasible(cand, s.links[i]) {
-		s.extra[s.links[i]] = true
 		s.dfs(i+1, cand, got+s.pen[i])
-		delete(s.extra, s.links[i])
+		s.pc.Revert(s.links[i])
 	}
 	// Branch 2: keep links[i] active.
 	s.dfs(i+1, mask, got)
 }
 
-// feasible tests whether the current subset plus link l keeps the
-// segment's ToRs within their constraints, consulting the reject cache
-// first.
+// feasible tests whether the current subset plus link l keeps the segment's
+// ToRs within their constraints, consulting the reject cache first. On
+// success the link remains applied on the counter; on failure the counter
+// is restored.
 func (s *segSolver) feasible(cand uint64, l topology.LinkID) bool {
 	if s.useCache {
+		candPop := bits.OnesCount64(cand)
 		for _, m := range s.cache {
+			if bits.OnesCount64(m) > candPop {
+				break // sorted by popcount: no later entry can be a subset
+			}
 			if cand&m == m {
 				s.cacheHits++
 				return false
 			}
 		}
 	}
-	s.extra[l] = true
 	s.checks++
 	s.budget--
-	ok := s.net.feasibleToRsWith(s.pc, s.tors, s.extra)
-	delete(s.extra, l)
-	if !ok && s.useCache {
-		s.cache = append(s.cache, cand)
+	counts, total := s.pc.IncCounts(), s.pc.Total()
+	ok := true
+	for _, tor := range s.pc.Apply(l) {
+		if !s.net.meets(tor, counts, total) {
+			ok = false
+			break
+		}
+	}
+	if !ok {
+		s.pc.Revert(l)
+		if s.useCache {
+			s.cacheInsert(cand)
+		}
 	}
 	return ok
+}
+
+// cacheInsert records an infeasible subset, keeping the cache ordered by
+// ascending popcount and bounded by cacheCap. At capacity the least-general
+// entry (largest subset, pruning the fewest candidates) is sacrificed.
+func (s *segSolver) cacheInsert(m uint64) {
+	p := bits.OnesCount64(m)
+	if len(s.cache) >= s.cacheCap {
+		last := s.cache[len(s.cache)-1]
+		if bits.OnesCount64(last) <= p {
+			// New entry is no more general than the worst cached one:
+			// refuse admission.
+			s.cacheEvictions++
+			return
+		}
+		s.cache = s.cache[:len(s.cache)-1]
+		s.cacheEvictions++
+	}
+	// Binary search for the insertion point among ascending popcounts.
+	lo, hi := 0, len(s.cache)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bits.OnesCount64(s.cache[mid]) <= p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s.cache = append(s.cache, 0)
+	copy(s.cache[lo+1:], s.cache[lo:])
+	s.cache[lo] = m
 }

@@ -57,7 +57,7 @@ func (n *Network) SaveState(w io.Writer) error {
 	}
 	for l := 0; l < n.topo.NumLinks(); l++ {
 		id := topology.LinkID(l)
-		if n.disabled[id] {
+		if n.disabled.Has(id) {
 			sf.Disabled = append(sf.Disabled, id)
 		}
 		if r := n.rate[id]; r > 0 {
@@ -84,16 +84,17 @@ func (n *Network) LoadState(r io.Reader) error {
 		return fmt.Errorf("core: state fingerprint %x does not match this topology (%x)",
 			sf.Fingerprint, fingerprint(n.topo))
 	}
-	for l := range n.disabled {
-		n.disabled[l] = false
+	for l := range n.rate {
 		n.rate[l] = 0
 	}
 	for _, l := range sf.Disabled {
 		if int(l) < 0 || int(l) >= n.topo.NumLinks() {
 			return fmt.Errorf("core: state references unknown link %d", l)
 		}
-		n.disabled[l] = true
 	}
+	// Replace the disabled set wholesale: one incremental re-sweep rebuilds
+	// counts and per-ToR constraint status.
+	n.resetState(sf.Disabled)
 	for l, rate := range sf.Corruption {
 		if int(l) < 0 || int(l) >= n.topo.NumLinks() {
 			return fmt.Errorf("core: state references unknown link %d", l)

@@ -70,6 +70,33 @@ func (t *Topology) UpstreamLinks(tors []SwitchID) map[LinkID]bool {
 	return links
 }
 
+// UpstreamLinkSet is UpstreamLinks with a bitset result: it adds to set
+// every link on some valley-free path from any ToR in tors to the spine.
+// set must be sized for this topology (NewLinkSet(t.NumLinks())); it is not
+// cleared first, so callers can union several cones into one set.
+func (t *Topology) UpstreamLinkSet(tors []SwitchID, set *LinkSet) {
+	seen := make([]bool, len(t.switches))
+	stack := make([]SwitchID, 0, len(tors))
+	for _, tor := range tors {
+		if !seen[tor] {
+			seen[tor] = true
+			stack = append(stack, tor)
+		}
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ul := range t.Switch(cur).Uplinks {
+			set.Add(ul)
+			nxt := t.Link(ul).Upper
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+}
+
 // SwitchesWithLinks returns the distinct switches touched by the given
 // links (either endpoint). The locality analysis of Figure 4 is a ratio of
 // such switch-set sizes.

@@ -1,0 +1,137 @@
+package topology
+
+import "math/bits"
+
+// LinkSet is a fixed-capacity bitset over LinkIDs. It replaces
+// map[LinkID]bool and DisabledFunc closures on the hot feasibility-check
+// paths: membership is a single word load plus a shift, with no hashing, no
+// pointer chasing, and no per-call closure allocation.
+//
+// The zero value is an empty set with zero capacity; use NewLinkSet (or
+// Reset) to size it for a topology. All methods are nil-safe for reads: a
+// nil *LinkSet behaves as the empty set.
+type LinkSet struct {
+	words []uint64
+}
+
+// NewLinkSet returns an empty set with capacity for links 0..numLinks-1.
+func NewLinkSet(numLinks int) *LinkSet {
+	return &LinkSet{words: make([]uint64, (numLinks+63)/64)}
+}
+
+// Reset re-sizes the set for numLinks links and clears it, reusing the
+// existing storage when large enough.
+func (s *LinkSet) Reset(numLinks int) {
+	n := (numLinks + 63) / 64
+	if cap(s.words) < n {
+		s.words = make([]uint64, n)
+		return
+	}
+	s.words = s.words[:n]
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Has reports whether l is in the set. Out-of-range and negative ids are
+// reported as absent, so a set built for one topology never panics when
+// probed with a sentinel NoLink.
+func (s *LinkSet) Has(l LinkID) bool {
+	if s == nil || l < 0 {
+		return false
+	}
+	w := uint(l) >> 6
+	if w >= uint(len(s.words)) {
+		return false
+	}
+	return s.words[w]>>(uint(l)&63)&1 != 0
+}
+
+// Add inserts l. Adding beyond the constructed capacity grows the set.
+func (s *LinkSet) Add(l LinkID) {
+	w := int(uint(l) >> 6)
+	for w >= len(s.words) {
+		s.words = append(s.words, 0)
+	}
+	s.words[w] |= 1 << (uint(l) & 63)
+}
+
+// Remove deletes l; removing an absent link is a no-op.
+func (s *LinkSet) Remove(l LinkID) {
+	w := int(uint(l) >> 6)
+	if w < len(s.words) {
+		s.words[w] &^= 1 << (uint(l) & 63)
+	}
+}
+
+// Clear empties the set, keeping its capacity.
+func (s *LinkSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Len reports the number of links in the set (a popcount over the words).
+func (s *LinkSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// CopyFrom makes s an exact copy of other (nil other clears s).
+func (s *LinkSet) CopyFrom(other *LinkSet) {
+	if other == nil {
+		s.Clear()
+		return
+	}
+	if cap(s.words) < len(other.words) {
+		s.words = make([]uint64, len(other.words))
+	}
+	s.words = s.words[:len(other.words)]
+	copy(s.words, other.words)
+}
+
+// Union adds every link of other to s (growing s if needed).
+func (s *LinkSet) Union(other *LinkSet) {
+	if other == nil {
+		return
+	}
+	for len(s.words) < len(other.words) {
+		s.words = append(s.words, 0)
+	}
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+}
+
+// Clone returns an independent copy of the set.
+func (s *LinkSet) Clone() *LinkSet {
+	c := &LinkSet{}
+	c.CopyFrom(s)
+	return c
+}
+
+// Each calls fn for every link in the set in increasing id order.
+func (s *LinkSet) Each(fn func(LinkID)) {
+	if s == nil {
+		return
+	}
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(LinkID(wi*64 + b))
+			w &= w - 1
+		}
+	}
+}
+
+// Func adapts the set to the DisabledFunc interface for callers that still
+// take a predicate.
+func (s *LinkSet) Func() DisabledFunc {
+	return func(l LinkID) bool { return s.Has(l) }
+}

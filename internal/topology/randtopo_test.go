@@ -1,0 +1,53 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomTopology builds a random multi-stage topology from the seed:
+// 2–4 stages, 1–6 switches per stage, every non-top switch gets 1 or more
+// uplinks to random switches one stage above. The result always passes
+// Build's validation, so fuzzers can explore freely.
+func randomTopology(tb testing.TB, seed int64) *Topology {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	stages := 2 + rng.Intn(3)
+	perStage := make([][]SwitchID, stages)
+	b := NewBuilder()
+	for st := 0; st < stages; st++ {
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			perStage[st] = append(perStage[st],
+				b.AddSwitch(fmt.Sprintf("s%d-%d", st, i), Stage(st), 0))
+		}
+	}
+	for st := 0; st < stages-1; st++ {
+		uppers := perStage[st+1]
+		for _, lo := range perStage[st] {
+			// Guaranteed uplink plus a few extras (possibly parallel links,
+			// which the counting engines must handle).
+			nup := 1 + rng.Intn(3)
+			for k := 0; k < nup; k++ {
+				b.AddLink(lo, uppers[rng.Intn(len(uppers))], -1)
+			}
+		}
+	}
+	topo, err := b.Build()
+	if err != nil {
+		tb.Fatalf("randomTopology(%d): %v", seed, err)
+	}
+	return topo
+}
+
+// randomLinkSet picks each link with probability p.
+func randomLinkSet(t *Topology, rng *rand.Rand, p float64) *LinkSet {
+	s := NewLinkSet(t.NumLinks())
+	for l := 0; l < t.NumLinks(); l++ {
+		if rng.Float64() < p {
+			s.Add(LinkID(l))
+		}
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package topology
+
+// Scoped path counting: evaluate valley-free path counts only over the
+// upward closure of a set of ToRs.
+//
+// A ToR's count depends only on the counts of switches reachable by walking
+// upward from it (its "cone"), so a feasibility check for a handful of ToRs
+// never needs to touch the rest of the data center. The paper's §5.1
+// refinement ("check only the downstream of l") and §8's segmentation
+// argument both rest on this locality; CountScoped turns it into an
+// O(cone) sweep instead of the O(|V|+|E|) full recount.
+//
+// The closure is discovered per call with epoch-marked scratch (no
+// allocation after the first call) and evaluated top-down by stage, exactly
+// like the full sweep, so scoped counts are bit-identical to the
+// corresponding entries of Count for the same disabled set — a property the
+// differential fuzz tests assert.
+
+// CountScoped computes path counts for every switch in the upward closure
+// of tors, under the given disabled predicate, and returns a slice indexed
+// by SwitchID. Only the entries of switches inside the closure (which
+// includes tors themselves) are valid; all other entries are stale. The
+// returned slice is reused by subsequent CountScoped calls.
+//
+// A nil disabled means all links are active.
+func (pc *PathCounter) CountScoped(tors []SwitchID, disabled DisabledFunc) []int64 {
+	pc.collectClosure(tors)
+	t := pc.t
+	top := Stage(t.Stages() - 1)
+	for st := int(top); st >= 0; st-- {
+		for _, id := range pc.stageBucket[st] {
+			if Stage(st) == top {
+				pc.scoped[id] = 1
+				continue
+			}
+			var n int64
+			for _, l := range t.Switch(id).Uplinks {
+				if disabled != nil && disabled(l) {
+					continue
+				}
+				n += pc.scoped[t.Link(l).Upper]
+			}
+			pc.scoped[id] = n
+		}
+	}
+	return pc.scoped
+}
+
+// CountScopedSet is CountScoped with the disabled set expressed as the
+// union of two bitsets (either may be nil): the persistent disabled set and
+// a tentative extra overlay. This is the branch-predictable hot-path form
+// used by the core package's feasibility checks.
+func (pc *PathCounter) CountScopedSet(tors []SwitchID, disabled, extra *LinkSet) []int64 {
+	pc.collectClosure(tors)
+	t := pc.t
+	top := Stage(t.Stages() - 1)
+	for st := int(top); st >= 0; st-- {
+		for _, id := range pc.stageBucket[st] {
+			if Stage(st) == top {
+				pc.scoped[id] = 1
+				continue
+			}
+			var n int64
+			for _, l := range t.Switch(id).Uplinks {
+				if disabled.Has(l) || extra.Has(l) {
+					continue
+				}
+				n += pc.scoped[t.Link(l).Upper]
+			}
+			pc.scoped[id] = n
+		}
+	}
+	return pc.scoped
+}
+
+// ScopeSize reports how many switches the upward closure of tors contains —
+// the work a scoped count performs. Exposed for instrumentation and tests.
+func (pc *PathCounter) ScopeSize(tors []SwitchID) int {
+	pc.collectClosure(tors)
+	n := 0
+	for _, b := range pc.stageBucket {
+		n += len(b)
+	}
+	return n
+}
+
+// collectClosure fills pc.stageBucket with the upward closure of tors,
+// bucketed by stage, using epoch-marked membership so repeated calls do not
+// allocate. The closure follows every uplink regardless of disabled state:
+// membership is structural, values are what depend on the disabled set.
+func (pc *PathCounter) collectClosure(tors []SwitchID) {
+	t := pc.t
+	pc.markEpoch++
+	e := pc.markEpoch
+	if e == 0 { // wrapped: invalidate all stale marks
+		for i := range pc.mark {
+			pc.mark[i] = 0
+		}
+		pc.markEpoch = 1
+		e = 1
+	}
+	for st := range pc.stageBucket {
+		pc.stageBucket[st] = pc.stageBucket[st][:0]
+	}
+	for _, tor := range tors {
+		if pc.mark[tor] != e {
+			pc.mark[tor] = e
+			sw := t.Switch(tor)
+			pc.stageBucket[sw.Stage] = append(pc.stageBucket[sw.Stage], tor)
+		}
+	}
+	// Walk upward stage by stage; a switch's uplink partners are always one
+	// stage higher, so the per-stage buckets are completed bottom-up before
+	// being consumed top-down.
+	for st := 0; st < len(pc.stageBucket)-1; st++ {
+		for _, id := range pc.stageBucket[st] {
+			for _, l := range t.Switch(id).Uplinks {
+				up := t.Link(l).Upper
+				if pc.mark[up] != e {
+					pc.mark[up] = e
+					pc.stageBucket[st+1] = append(pc.stageBucket[st+1], up)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scopedAgreesWithFull asserts that CountScoped (and CountScopedSet) agree
+// bit-exactly with a fresh full Count for every switch in the scope.
+func scopedAgreesWithFull(t *testing.T, topo *Topology, pc *PathCounter, tors []SwitchID, disabled *LinkSet) {
+	t.Helper()
+	full := append([]int64(nil), pc.Count(disabled.Func())...)
+	scoped := pc.CountScoped(tors, disabled.Func())
+	for _, tor := range tors {
+		if scoped[tor] != full[tor] {
+			t.Fatalf("CountScoped[%d] = %d, full = %d (disabled %d links)",
+				tor, scoped[tor], full[tor], disabled.Len())
+		}
+	}
+	scopedSet := pc.CountScopedSet(tors, disabled, nil)
+	for _, tor := range tors {
+		if scopedSet[tor] != full[tor] {
+			t.Fatalf("CountScopedSet[%d] = %d, full = %d", tor, scopedSet[tor], full[tor])
+		}
+	}
+}
+
+func TestCountScopedMatchesFullRandom(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		topo := randomTopology(t, seed)
+		pc := NewPathCounter(topo)
+		rng := rand.New(rand.NewSource(seed + 1000))
+		for trial := 0; trial < 10; trial++ {
+			disabled := randomLinkSet(topo, rng, rng.Float64()*0.5)
+			// Random non-empty ToR subset.
+			var tors []SwitchID
+			for _, tor := range topo.ToRs() {
+				if rng.Intn(2) == 0 {
+					tors = append(tors, tor)
+				}
+			}
+			if len(tors) == 0 {
+				tors = topo.ToRs()
+			}
+			scopedAgreesWithFull(t, topo, pc, tors, disabled)
+		}
+	}
+}
+
+func TestCountScopedMatchesFullClos(t *testing.T) {
+	topo, err := NewClos(ClosConfig{
+		Pods: 4, ToRsPerPod: 4, AggsPerPod: 2, Spines: 4, SpineUplinksPerAgg: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPathCounter(topo)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		disabled := randomLinkSet(topo, rng, 0.2)
+		tors := []SwitchID{topo.ToRs()[rng.Intn(len(topo.ToRs()))]}
+		scopedAgreesWithFull(t, topo, pc, tors, disabled)
+	}
+}
+
+// TestCountScopedExtraOverlay checks the two-set union form against a
+// single merged set.
+func TestCountScopedExtraOverlay(t *testing.T) {
+	topo := randomTopology(t, 99)
+	pc := NewPathCounter(topo)
+	rng := rand.New(rand.NewSource(99))
+	base := randomLinkSet(topo, rng, 0.2)
+	extra := randomLinkSet(topo, rng, 0.2)
+	merged := base.Clone()
+	merged.Union(extra)
+	tors := topo.ToRs()
+	got := append([]int64(nil), pc.CountScopedSet(tors, base, extra)...)
+	want := pc.Count(merged.Func())
+	for _, tor := range tors {
+		if got[tor] != want[tor] {
+			t.Fatalf("overlay count[%d] = %d, want %d", tor, got[tor], want[tor])
+		}
+	}
+}
+
+// TestScopeSizeLocality: on a podded Clos, one ToR's cone must be far
+// smaller than the whole topology — the property that makes scoped
+// checks cheap.
+func TestScopeSizeLocality(t *testing.T) {
+	topo, err := NewClos(ClosConfig{
+		Pods: 8, ToRsPerPod: 8, AggsPerPod: 4, Spines: 8, SpineUplinksPerAgg: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := NewPathCounter(topo)
+	tor := topo.ToRs()[0]
+	size := pc.ScopeSize([]SwitchID{tor})
+	// Cone = the ToR + its pod's aggs + the spines they reach.
+	want := 1 + 4 + 8
+	if size != want {
+		t.Fatalf("ScopeSize = %d, want %d", size, want)
+	}
+	if size >= topo.NumSwitches() {
+		t.Fatalf("cone (%d) not smaller than topology (%d)", size, topo.NumSwitches())
+	}
+	// All ToRs' union covers every switch that has a path role.
+	all := pc.ScopeSize(topo.ToRs())
+	if all > topo.NumSwitches() {
+		t.Fatalf("closure larger than topology: %d > %d", all, topo.NumSwitches())
+	}
+}
+
+// FuzzCountScoped cross-checks scoped against full counts on fuzzer-chosen
+// topologies, disabled sets, and ToR subsets.
+func FuzzCountScoped(f *testing.F) {
+	f.Add(int64(1), uint64(0), uint16(0xffff))
+	f.Add(int64(2), uint64(0xdeadbeef), uint16(0x3))
+	f.Add(int64(42), ^uint64(0), uint16(0x1))
+	f.Fuzz(func(t *testing.T, seed int64, disabledBits uint64, torBits uint16) {
+		topo := randomTopology(t, seed)
+		pc := NewPathCounter(topo)
+		disabled := NewLinkSet(topo.NumLinks())
+		for l := 0; l < topo.NumLinks(); l++ {
+			if disabledBits>>(uint(l)%64)&1 == 1 {
+				disabled.Add(LinkID(l))
+			}
+		}
+		var tors []SwitchID
+		for i, tor := range topo.ToRs() {
+			if torBits>>(uint(i)%16)&1 == 1 {
+				tors = append(tors, tor)
+			}
+		}
+		if len(tors) == 0 {
+			tors = topo.ToRs()
+		}
+		scopedAgreesWithFull(t, topo, pc, tors, disabled)
+	})
+}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# bench.sh — run the core mitigation-engine benchmarks and emit
+# BENCH_core.json (plus the raw `go test` output in BENCH_core.txt).
+#
+# One JSON object per benchmark line, keyed by the reported units, e.g.
+#   {"name":"BenchmarkFastChecker-8","iterations":3504,
+#    "ns/op":335399,"B/op":0,"allocs/op":0}
+# Custom metrics (e.g. "cone-switches" from BenchmarkPathCountingScoped)
+# come through under their own unit names.
+set -eu
+cd "$(dirname "$0")/.."
+
+TXT=BENCH_core.txt
+JSON=BENCH_core.json
+PATTERN='FastChecker|Optimizer|PathCounting'
+
+go test -run '^$' -bench "$PATTERN" -benchmem -count=5 . | tee "$TXT"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ && NF >= 4 {
+    if (!first) printf(",\n")
+    first = 0
+    printf("  {\"name\":\"%s\",\"iterations\":%s", $1, $2)
+    for (i = 3; i + 1 <= NF; i += 2)
+        printf(",\"%s\":%s", $(i + 1), $i)
+    printf("}")
+}
+END { print "\n]" }
+' "$TXT" > "$JSON"
+
+echo "wrote $JSON"
