@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fuzz bench clean
+.PHONY: all build test race test-race fuzz bench bench-experiments clean
 
 all: build test
 
@@ -15,6 +15,12 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/topology/...
 
+## test-race: the simulator and the parallel scenario runner under the race
+## detector — the pool shares topologies and fault traces across workers, so
+## this is the guard on that immutability contract.
+test-race:
+	$(GO) test -race ./internal/sim/... ./internal/runner/...
+
 ## fuzz: short smoke runs of the differential fuzzers that pin the scoped +
 ## incremental path-counting engines to the full-sweep reference.
 fuzz:
@@ -26,7 +32,13 @@ fuzz:
 ## path counting), 5 repetitions with allocation stats; raw text goes to
 ## BENCH_core.txt and a parsed summary to BENCH_core.json.
 bench:
-	./scripts/bench.sh
+	./scripts/bench.sh core
+
+## bench-experiments: per-experiment wall-clock at ScaleSmall, serial
+## (Workers=1) vs parallel (Workers=NumCPU); raw text goes to
+## BENCH_experiments.txt and a parsed summary to BENCH_experiments.json.
+bench-experiments:
+	./scripts/bench.sh experiments
 
 clean:
-	rm -f BENCH_core.txt BENCH_core.json
+	rm -f BENCH_core.txt BENCH_core.json BENCH_experiments.txt BENCH_experiments.json

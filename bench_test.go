@@ -334,6 +334,42 @@ func BenchmarkEngineReport(b *testing.B) {
 	}
 }
 
+// BenchmarkExperimentsSuite measures the wall-clock of each multi-scenario
+// experiment driver at ScaleSmall, serial (Workers=1, no pool) versus
+// parallel (Workers=0, one worker per CPU). The reports are byte-identical
+// either way — pinned by TestParallelRunnerDeterminism — so the ratio of
+// the two sub-benchmarks is the pure scheduling win of internal/runner.
+// scripts/bench.sh experiments parses this suite into BENCH_experiments.json.
+func BenchmarkExperimentsSuite(b *testing.B) {
+	ids := []string{"fig14", "fig1516", "fig17", "fig19", "sec2", "ext8", "fleet", "ticketq"}
+	modes := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = one worker per CPU
+	}
+	for _, id := range ids {
+		b.Run(id, func(b *testing.B) {
+			for _, m := range modes {
+				b.Run(m.name, func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						rep, err := experiments.Run(id, experiments.Config{
+							Scale: experiments.ScaleSmall, Seed: 1, Workers: m.workers,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if len(rep.Rows) == 0 {
+							b.Fatalf("%s produced no rows", id)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 // BenchmarkOptimizerParallel measures the segment-parallel optimizer on the
 // large DCN against the serial baseline (BenchmarkOptimizer).
 func BenchmarkOptimizerParallel(b *testing.B) {

@@ -5,6 +5,12 @@
 //	corropt-experiments -list
 //	corropt-experiments -exp fig14 -scale medium -seed 1 [-o fig14.tsv]
 //	corropt-experiments -exp all -scale small
+//	corropt-experiments -exp fig17 -scale large -workers 16
+//
+// Multi-scenario experiments (policy sweeps, the fleet study, the staffing
+// grid) replay their scenarios on a bounded worker pool; -workers bounds the
+// concurrency (default: one worker per CPU). Reports are byte-identical for
+// any -workers value — the flag only changes wall-clock time.
 //
 // Each experiment prints a TSV report: the same rows or series the paper
 // plots, with notes comparing the measured shape against the published one.
@@ -21,12 +27,13 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale  = flag.String("scale", "small", "dcn scale: small, medium, large")
-		seed   = flag.Uint64("seed", 1, "random seed (equal seeds reproduce identical reports)")
-		out    = flag.String("o", "", "output file (default stdout)")
-		format = flag.String("format", "tsv", "output format: tsv or json")
-		list   = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale   = flag.String("scale", "small", "dcn scale: small, medium, large")
+		seed    = flag.Uint64("seed", 1, "random seed (equal seeds reproduce identical reports)")
+		workers = flag.Int("workers", 0, "concurrent scenario replays per experiment (0 = one per CPU); any value produces byte-identical reports")
+		out     = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "tsv", "output format: tsv or json")
+		list    = flag.Bool("list", false, "list available experiments")
 	)
 	flag.Parse()
 
@@ -54,7 +61,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "corropt-experiments: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	cfg := experiments.Config{Scale: sc, Seed: *seed}
+	cfg := experiments.Config{Scale: sc, Seed: *seed, Workers: *workers}
 
 	w := os.Stdout
 	if *out != "" {

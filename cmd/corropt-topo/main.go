@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"corropt"
 	"corropt/internal/topology"
@@ -31,6 +33,8 @@ func main() {
 		paths(os.Args[2:])
 	case "dot":
 		dot(os.Args[2:])
+	case "mkstate":
+		mkstate(os.Args[2:])
 	default:
 		usage()
 	}
@@ -41,7 +45,8 @@ func usage() {
   corropt-topo gen  [-pods N -tors N -aggs N -spines N -uplinks N -breakout N] [-fattree K] [-o file]
   corropt-topo info <file>
   corropt-topo paths [-capacity C] <file>
-  corropt-topo dot [-state file] <file>   (Graphviz on stdout; -state marks disabled links)`)
+  corropt-topo dot [-state file] <file>   (Graphviz on stdout; -state marks disabled links)
+  corropt-topo mkstate [-disable 0,3,17] [-capacity C] [-o file] <file>   (write a corroptd state file)`)
 	os.Exit(2)
 }
 
@@ -209,6 +214,58 @@ func dot(args []string) {
 	if err := topo.WriteDOT(os.Stdout, disabled); err != nil {
 		fatal(err)
 	}
+}
+
+// mkstate writes a corroptd state file with the given links disabled — the
+// supported replacement for ad-hoc scratch programs that hand-built state
+// files. Unlike those, it validates every link id against the topology and
+// reports every I/O error.
+func mkstate(args []string) {
+	fs := flag.NewFlagSet("mkstate", flag.ExitOnError)
+	var (
+		disable  = fs.String("disable", "", "comma-separated link ids to mark administratively disabled")
+		capacity = fs.Float64("capacity", 0.75, "capacity constraint used to validate the resulting state")
+		out      = fs.String("o", "", "output state file (default stdout)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	topo := load(fs.Arg(0))
+	net, err := corropt.NewNetwork(topo, *capacity)
+	if err != nil {
+		fatal(err)
+	}
+	if *disable != "" {
+		for _, tok := range strings.Split(*disable, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil {
+				fatal(fmt.Errorf("bad link id %q: %w", tok, err))
+			}
+			if id < 0 || id >= topo.NumLinks() {
+				fatal(fmt.Errorf("link id %d out of range [0,%d)", id, topo.NumLinks()))
+			}
+			net.Disable(topology.LinkID(id))
+		}
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := net.SaveState(w); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "state: %d of %d links disabled; constraint feasible: %v\n",
+		net.NumDisabled(), topo.NumLinks(), net.Feasible(nil))
 }
 
 func pow(b, e float64) float64 { return math.Pow(b, e) }

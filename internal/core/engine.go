@@ -10,6 +10,13 @@ import (
 // IEEE 802.3 demands 1e-8, but production systems alarm near 1e-6 (§2).
 const DefaultDetectionThreshold = 1e-6
 
+// LossyFloor is the IEEE 802.3 lossy threshold of §2: corruption rates
+// below 1e-8 are indistinguishable from a healthy link (the standard's
+// residual bit-error budget) and are treated as zero wherever ground truth
+// is mirrored into detection-facing state. stats.DefaultBuckets' lowest
+// bucket boundary is the same floor.
+const LossyFloor = 1e-8
+
 // Decision records what the engine did with a corruption report.
 type Decision struct {
 	Link topology.LinkID

@@ -51,7 +51,31 @@ type Network struct {
 	// ToRs that do not.
 	meetsNow    []bool
 	numViolated int
+
+	// Incremental penalty accounting (§5.1's objective Σ (1-d_l)·I(f_l)),
+	// active once RegisterPenalty installs an impact function. penalty is
+	// that function; contrib[l] caches link l's current contribution
+	// (p(rate[l]) when the link is enabled and corrupting, else 0);
+	// penaltySum is Σ contrib, maintained in O(1) per SetCorruption /
+	// Disable / Enable. corrupting tracks the links with a nonzero recorded
+	// rate so exact rebuilds touch O(#corrupting) links, not O(#links).
+	penalty    PenaltyFunc
+	contrib    []float64
+	penaltySum float64
+	corrupting *topology.LinkSet
+	// penaltyOps counts updates folded into penaltySum since the last
+	// exact rebuild; PenaltySum re-sums the contributions (in link order,
+	// matching the TotalPenalty scan) every penaltyRebuildEvery updates so
+	// floating-point drift from incremental +=/-= never accumulates beyond
+	// one epoch.
+	penaltyOps int
 }
+
+// penaltyRebuildEvery bounds floating-point drift of the incremental
+// penalty sum: after this many O(1) delta updates, the next PenaltySum read
+// re-sums the cached contributions exactly. Rebuilds cost O(#corrupting
+// links) and amortize to O(1) per update.
+const penaltyRebuildEvery = 1024
 
 // constraintSlack absorbs float64 rounding when comparing exact integer
 // path-count ratios against fractional constraints.
@@ -112,6 +136,7 @@ func (n *Network) Disable(l topology.LinkID) {
 		return
 	}
 	n.numDisabled++
+	n.penaltyOnToggle(l, true)
 	n.refreshToRs(n.pc.Apply(l))
 }
 
@@ -121,6 +146,7 @@ func (n *Network) Enable(l topology.LinkID) {
 		return
 	}
 	n.numDisabled--
+	n.penaltyOnToggle(l, false)
 	n.refreshToRs(n.pc.Revert(l))
 }
 
@@ -142,7 +168,106 @@ func (n *Network) NumDisabled() int { return n.numDisabled }
 
 // SetCorruption records the observed worst-direction corruption rate of
 // link l; zero clears it (the link has been repaired or was misdetected).
-func (n *Network) SetCorruption(l topology.LinkID, rate float64) { n.rate[l] = rate }
+// With a registered penalty function the running penalty sum is updated in
+// O(1).
+func (n *Network) SetCorruption(l topology.LinkID, rate float64) {
+	if n.rate[l] == rate {
+		return
+	}
+	n.rate[l] = rate
+	if n.penalty == nil {
+		return
+	}
+	if rate > 0 {
+		n.corrupting.Add(l)
+	} else {
+		n.corrupting.Remove(l)
+	}
+	var c float64
+	if rate > 0 && !n.disabled.Has(l) {
+		c = n.penalty(rate)
+	}
+	n.setContrib(l, c)
+}
+
+// RegisterPenalty installs p as the network's impact function and switches
+// penalty accounting to incremental mode: from now on SetCorruption,
+// Disable, and Enable maintain Σ (1-d_l)·I(f_l) as running state, and
+// PenaltySum reads it in O(1) instead of rescanning every link the way
+// TotalPenalty does. Registering replaces any previous function and
+// recomputes the sum from scratch.
+func (n *Network) RegisterPenalty(p PenaltyFunc) {
+	if p == nil {
+		n.penalty, n.contrib, n.corrupting = nil, nil, nil
+		n.penaltySum, n.penaltyOps = 0, 0
+		return
+	}
+	n.penalty = p
+	n.contrib = make([]float64, n.topo.NumLinks())
+	n.corrupting = topology.NewLinkSet(n.topo.NumLinks())
+	for l, r := range n.rate {
+		if r > 0 {
+			n.corrupting.Add(topology.LinkID(l))
+			if !n.disabled.Has(topology.LinkID(l)) {
+				n.contrib[l] = p(r)
+			}
+		}
+	}
+	n.rebuildPenaltySum()
+}
+
+// PenaltyRegistered reports whether an impact function is installed.
+func (n *Network) PenaltyRegistered() bool { return n.penalty != nil }
+
+// PenaltySum returns the incrementally-maintained objective Σ (1-d_l)·I(f_l)
+// for the registered penalty function. O(1) per read (amortized: every
+// penaltyRebuildEvery updates the sum is re-summed exactly over the
+// O(#corrupting) cached contributions, in the same link order as a fresh
+// TotalPenalty scan, so incremental drift never outlives one epoch). It
+// panics if no penalty function was registered.
+func (n *Network) PenaltySum() float64 {
+	if n.penalty == nil {
+		panic("core: PenaltySum called without RegisterPenalty")
+	}
+	if n.penaltyOps >= penaltyRebuildEvery {
+		n.rebuildPenaltySum()
+	}
+	return n.penaltySum
+}
+
+// setContrib points link l's cached penalty contribution at c, folding the
+// delta into the running sum.
+func (n *Network) setContrib(l topology.LinkID, c float64) {
+	if old := n.contrib[l]; old != c {
+		n.penaltySum += c - old
+		n.contrib[l] = c
+		n.penaltyOps++
+	}
+}
+
+// penaltyOnToggle updates the penalty state for link l transitioning to
+// disabled (true) or enabled (false). Callers invoke it before the path
+// counter's disabled set flips, so the new state is passed explicitly.
+func (n *Network) penaltyOnToggle(l topology.LinkID, nowDisabled bool) {
+	if n.penalty == nil {
+		return
+	}
+	var c float64
+	if r := n.rate[l]; r > 0 && !nowDisabled {
+		c = n.penalty(r)
+	}
+	n.setContrib(l, c)
+}
+
+// rebuildPenaltySum re-sums the cached contributions exactly, iterating the
+// corrupting set in ascending link order — term-for-term the same additions
+// as TotalPenalty's fresh scan, so the result is bit-identical to it.
+func (n *Network) rebuildPenaltySum() {
+	sum := 0.0
+	n.corrupting.Each(func(l topology.LinkID) { sum += n.contrib[l] })
+	n.penaltySum = sum
+	n.penaltyOps = 0
+}
 
 // CorruptionRate reports the recorded corruption rate of link l.
 func (n *Network) CorruptionRate(l topology.LinkID) float64 { return n.rate[l] }
@@ -214,6 +339,18 @@ func (n *Network) resetState(disabled []topology.LinkID) {
 	n.pc.ResetIncremental(set)
 	n.numDisabled = n.disabled.Len()
 	n.recomputeViolated()
+	if n.penalty != nil {
+		// The disabled set changed wholesale: refresh every corrupting
+		// link's contribution, then re-sum exactly.
+		n.corrupting.Each(func(l topology.LinkID) {
+			var c float64
+			if r := n.rate[l]; r > 0 && !n.disabled.Has(l) {
+				c = n.penalty(r)
+			}
+			n.contrib[l] = c
+		})
+		n.rebuildPenaltySum()
+	}
 }
 
 // ViolatedToRs returns the ToRs whose capacity constraints are violated

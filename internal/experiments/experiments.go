@@ -55,6 +55,13 @@ type Config struct {
 	// Seed roots all randomness; equal seeds reproduce byte-identical
 	// reports.
 	Seed uint64
+	// Workers bounds how many independent scenarios (policy × constraint ×
+	// DCN cells, fleet members, staffing-grid cells) run concurrently; 0
+	// means one per CPU. Every scenario draws from its own rngutil
+	// substream and results are collected in index order, so reports are
+	// byte-identical for any Workers value — the knob only changes
+	// wall-clock time.
+	Workers int
 }
 
 // Report is one regenerated table or figure.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"corropt/internal/runner"
 	"corropt/internal/sim"
 	"corropt/internal/stats"
 )
@@ -34,21 +35,6 @@ func ext8(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(drain, collateral bool) (*sim.Result, error) {
-		s, err := sim.New(topo, DefaultTech(), sim.Config{
-			Policy:           sim.PolicyCorrOpt,
-			Capacity:         0.75,
-			FixedAccuracy:    0.5, // frequent repair failures make the cycle visible
-			DetectionDelay:   15 * time.Minute,
-			DrainMode:        drain,
-			RepairCollateral: collateral,
-			Seed:             cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return s.Run(trace, horizon)
-	}
 	row := func(name string, res *sim.Result) {
 		var fracs []float64
 		worst := 1.0
@@ -62,29 +48,39 @@ func ext8(cfg Config) (*Report, error) {
 			fmtF(stats.Mean(fracs)), fmtF(worst))
 	}
 
-	base, err := run(false, false)
+	// The four §8 variants replay the same trace independently; fan them
+	// out on the worker pool and emit rows in the fixed variant order.
+	variants := []struct {
+		name              string
+		drain, collateral bool
+	}{
+		{"baseline (enable/disable cycle)", false, false},
+		{"drain mode", true, false},
+		{"repair collateral modeled", false, true},
+		{"drain + collateral", true, true},
+	}
+	results, err := runner.Map(cfg.Workers, len(variants), func(i int) (*sim.Result, error) {
+		s, err := sim.New(topo, DefaultTech(), sim.Config{
+			Policy:           sim.PolicyCorrOpt,
+			Capacity:         0.75,
+			FixedAccuracy:    0.5, // frequent repair failures make the cycle visible
+			DetectionDelay:   15 * time.Minute,
+			DrainMode:        variants[i].drain,
+			RepairCollateral: variants[i].collateral,
+			Seed:             cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(trace, horizon)
+	})
 	if err != nil {
 		return nil, err
 	}
-	row("baseline (enable/disable cycle)", base)
-
-	drained, err := run(true, false)
-	if err != nil {
-		return nil, err
+	for i, v := range variants {
+		row(v.name, results[i])
 	}
-	row("drain mode", drained)
-
-	collateral, err := run(false, true)
-	if err != nil {
-		return nil, err
-	}
-	row("repair collateral modeled", collateral)
-
-	both, err := run(true, true)
-	if err != nil {
-		return nil, err
-	}
-	row("drain + collateral", both)
+	base, drained := results[0], results[1]
 
 	if base.IntegratedPenalty > 0 {
 		r.AddNote("drain mode removes the failed-repair re-exposure: penalty ratio %.3g vs the enable/disable cycle", drained.IntegratedPenalty/base.IntegratedPenalty)

@@ -200,19 +200,26 @@ func fig14(cfg Config) (*Report, error) {
 		Title:  "Total penalty per second over time (c=75%)",
 		Header: []string{"dcn", "hour", "switch_local", "corropt"},
 	}
-	for _, scale := range evalScales(cfg.Scale) {
-		topo, trace, horizon, err := evalTrace(cfg, "fig14-"+scale.String(), scale)
-		if err != nil {
-			return nil, err
+	dcns, err := evalDCNs(cfg, "fig14")
+	if err != nil {
+		return nil, err
+	}
+	// One scenario per DCN × policy, replayed concurrently on the worker
+	// pool; scenarios of the same DCN share its immutable topology and
+	// trace.
+	var scenarios []simScenario
+	for _, d := range dcns {
+		for _, p := range []sim.PolicyKind{sim.PolicySwitchLocal, sim.PolicyCorrOpt} {
+			scenarios = append(scenarios, simScenario{d.topo, d.trace, d.horizon, p, 0.75, 0.8, cfg.Seed})
 		}
-		co, err := runPolicy(topo, trace, horizon, sim.PolicyCorrOpt, 0.75, 0.8, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		sl, err := runPolicy(topo, trace, horizon, sim.PolicySwitchLocal, 0.75, 0.8, cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runScenarios(cfg.Workers, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for i, d := range dcns {
+		scale, topo := d.scale, d.topo
+		sl, co := results[2*i], results[2*i+1]
 		step := len(co.Samples) / 120
 		if step == 0 {
 			step = 1
@@ -247,20 +254,30 @@ func fig1516(cfg Config) (*Report, error) {
 		Title:  "Worst ToR's available-path fraction over time",
 		Header: []string{"dcn", "capacity", "hour", "switch_local", "corropt"},
 	}
-	for _, scale := range evalScales(cfg.Scale) {
-		topo, trace, horizon, err := evalTrace(cfg, "fig1516-"+scale.String(), scale)
-		if err != nil {
-			return nil, err
+	dcns, err := evalDCNs(cfg, "fig1516")
+	if err != nil {
+		return nil, err
+	}
+	capacities := []float64{0.75, 0.50}
+	// DCN × capacity × policy scenarios, all independent: fan the whole
+	// grid out on the worker pool and reassemble in order.
+	var scenarios []simScenario
+	for _, d := range dcns {
+		for _, c := range capacities {
+			for _, p := range []sim.PolicyKind{sim.PolicySwitchLocal, sim.PolicyCorrOpt} {
+				scenarios = append(scenarios, simScenario{d.topo, d.trace, d.horizon, p, c, 0.8, cfg.Seed})
+			}
 		}
-		for _, c := range []float64{0.75, 0.50} {
-			co, err := runPolicy(topo, trace, horizon, sim.PolicyCorrOpt, c, 0.8, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			sl, err := runPolicy(topo, trace, horizon, sim.PolicySwitchLocal, c, 0.8, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
+	}
+	results, err := runScenarios(cfg.Workers, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for di, d := range dcns {
+		scale := d.scale
+		for ci, c := range capacities {
+			base := 2 * (di*len(capacities) + ci)
+			sl, co := results[base], results[base+1]
 			step := len(co.Samples) / 60
 			if step == 0 {
 				step = 1
@@ -297,20 +314,30 @@ func fig17(cfg Config) (*Report, error) {
 		Title:  "Integrated penalty ratio CorrOpt/switch-local vs capacity constraint",
 		Header: []string{"dcn", "capacity", "ratio", "corropt_penalty", "switch_local_penalty"},
 	}
-	for _, scale := range evalScales(cfg.Scale) {
-		topo, trace, horizon, err := evalTrace(cfg, "fig17-"+scale.String(), scale)
-		if err != nil {
-			return nil, err
+	dcns, err := evalDCNs(cfg, "fig17")
+	if err != nil {
+		return nil, err
+	}
+	capacities := []float64{0.25, 0.50, 0.60, 0.75}
+	// The full capacity sweep — DCN × constraint × policy — is the classic
+	// embarrassingly-parallel replay grid; fan it out and reassemble.
+	var scenarios []simScenario
+	for _, d := range dcns {
+		for _, c := range capacities {
+			for _, p := range []sim.PolicyKind{sim.PolicySwitchLocal, sim.PolicyCorrOpt} {
+				scenarios = append(scenarios, simScenario{d.topo, d.trace, d.horizon, p, c, 0.8, cfg.Seed})
+			}
 		}
-		for _, c := range []float64{0.25, 0.50, 0.60, 0.75} {
-			co, err := runPolicy(topo, trace, horizon, sim.PolicyCorrOpt, c, 0.8, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			sl, err := runPolicy(topo, trace, horizon, sim.PolicySwitchLocal, c, 0.8, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
+	}
+	results, err := runScenarios(cfg.Workers, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for di, d := range dcns {
+		scale := d.scale
+		for ci, c := range capacities {
+			base := 2 * (di*len(capacities) + ci)
+			sl, co := results[base], results[base+1]
 			ratio := "0"
 			if sl.IntegratedPenalty > 0 {
 				ratio = fmtF(co.IntegratedPenalty / sl.IntegratedPenalty)
@@ -400,25 +427,33 @@ func fig19(cfg Config) (*Report, error) {
 		Title:  "Penalty ratio with CorrOpt recommendations (80% accuracy) vs without (50%)",
 		Header: []string{"dcn", "capacity", "ratio"},
 	}
-	for _, scale := range evalScales(cfg.Scale) {
-		topo, trace, horizon, err := evalTrace(cfg, "fig19-"+scale.String(), scale)
-		if err != nil {
-			return nil, err
+	dcns, err := evalDCNs(cfg, "fig19")
+	if err != nil {
+		return nil, err
+	}
+	capacities := []float64{0.25, 0.50, 0.75}
+	accuracies := []float64{0.8, 0.5}
+	var scenarios []simScenario
+	for _, d := range dcns {
+		for _, c := range capacities {
+			for _, a := range accuracies {
+				scenarios = append(scenarios, simScenario{d.topo, d.trace, d.horizon, sim.PolicyCorrOpt, c, a, cfg.Seed})
+			}
 		}
-		for _, c := range []float64{0.25, 0.50, 0.75} {
-			good, err := runPolicy(topo, trace, horizon, sim.PolicyCorrOpt, c, 0.8, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			bad, err := runPolicy(topo, trace, horizon, sim.PolicyCorrOpt, c, 0.5, cfg.Seed)
-			if err != nil {
-				return nil, err
-			}
+	}
+	results, err := runScenarios(cfg.Workers, scenarios)
+	if err != nil {
+		return nil, err
+	}
+	for di, d := range dcns {
+		for ci, c := range capacities {
+			base := 2 * (di*len(capacities) + ci)
+			good, bad := results[base], results[base+1]
 			ratio := 1.0
 			if bad.IntegratedPenalty > 0 {
 				ratio = good.IntegratedPenalty / bad.IntegratedPenalty
 			}
-			r.AddRow(scale.String(), fmt.Sprintf("%.0f%%", 100*c), fmtF(ratio))
+			r.AddRow(d.scale.String(), fmt.Sprintf("%.0f%%", 100*c), fmtF(ratio))
 		}
 	}
 	r.AddNote("paper: ~30%% lower corruption losses at c=75%% from recommendations alone")

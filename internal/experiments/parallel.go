@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"time"
+
+	"corropt/internal/faults"
+	"corropt/internal/runner"
+	"corropt/internal/sim"
+	"corropt/internal/topology"
+)
+
+// simScenario describes one independent trace replay: the unit of fan-out
+// of the paper's evaluation (§7). Scenarios may share the topology and the
+// fault trace — both are immutable during simulation (each Sim builds its
+// own faults.State, core.Network, and ticket queue) — so concurrent replays
+// of the same trace under different policies, constraints, or accuracies
+// are safe.
+type simScenario struct {
+	topo     *topology.Topology
+	trace    []*faults.Fault
+	horizon  time.Duration
+	policy   sim.PolicyKind
+	capacity float64
+	accuracy float64
+	seed     uint64
+}
+
+// evalDCN is one evaluation fabric with its shared fault trace.
+type evalDCN struct {
+	scale   Scale
+	topo    *topology.Topology
+	trace   []*faults.Fault
+	horizon time.Duration
+}
+
+// evalDCNs builds the standard evaluation DCNs for the configured scale.
+// Trace generation stays serial: each trace is seeded by experiment name
+// and scale, so it is identical regardless of Workers, and the (cheap)
+// generation cost is dwarfed by the replays it feeds.
+func evalDCNs(cfg Config, name string) ([]evalDCN, error) {
+	scales := evalScales(cfg.Scale)
+	out := make([]evalDCN, len(scales))
+	for i, scale := range scales {
+		topo, trace, horizon, err := evalTrace(cfg, name+"-"+scale.String(), scale)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = evalDCN{scale, topo, trace, horizon}
+	}
+	return out, nil
+}
+
+// runScenarios replays every scenario on the bounded worker pool and
+// returns the results in scenario order. Each Sim seeds its own rngutil
+// substream from the scenario's seed, so the output is byte-identical for
+// any worker count.
+func runScenarios(workers int, scenarios []simScenario) ([]*sim.Result, error) {
+	return runner.Map(workers, len(scenarios), func(i int) (*sim.Result, error) {
+		sc := scenarios[i]
+		return runPolicy(sc.topo, sc.trace, sc.horizon, sc.policy, sc.capacity, sc.accuracy, sc.seed)
+	})
+}

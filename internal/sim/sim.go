@@ -250,6 +250,10 @@ type Sim struct {
 	clock  *simclock.Clock
 	rng    *rngutil.Source
 	result Result
+	// ran guards the one-shot Run contract: a second Run on the same Sim
+	// would re-register the periodic sampler and re-accrue into the shared
+	// result, silently corrupting both runs' outputs.
+	ran bool
 
 	// reseated tracks links whose transceiver was reseated since the last
 	// successful repair (Algorithm 1's history input).
@@ -292,6 +296,10 @@ func New(topo *topology.Topology, tech optics.Technology, cfg Config) (*Sim, err
 		ticketed:   make(map[topology.LinkID]bool),
 		collateral: make(map[topology.LinkID]int),
 	}
+	// Incremental penalty accounting: the network maintains Σ (1-d_l)·I(f_l)
+	// as O(1)-updatable state, so settle/sample read it instead of
+	// rescanning every link per event.
+	net.RegisterPenalty(cfg.Penalty)
 	s.tech = tickets.NewTechnician(1-cfg.IgnoreProb, s.rng.Split("technician"))
 	switch cfg.Policy {
 	case PolicyNone:
@@ -323,7 +331,17 @@ func (s *Sim) Network() *core.Network { return s.net }
 func (s *Sim) State() *faults.State { return s.state }
 
 // Run replays the fault trace until horizon and returns the result.
+//
+// Run is one-shot: a Sim accumulates its event queue, ticket state, and
+// penalty integral across the run, so replaying on the same Sim would
+// double-register the periodic sampler and re-accrue into the shared
+// result. Build a fresh Sim (with the same Config and Seed for identical
+// output) to run again; a second Run returns an error.
 func (s *Sim) Run(trace []*faults.Fault, horizon time.Duration) (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("sim: Run called twice on the same Sim; Sim is one-shot — build a new Sim to replay")
+	}
+	s.ran = true
 	for _, f := range trace {
 		f := f
 		if f.Start >= horizon {
@@ -344,9 +362,11 @@ func (s *Sim) Run(trace []*faults.Fault, horizon time.Duration) (*Result, error)
 }
 
 // syncRate mirrors ground truth into the policy-visible network record.
+// Rates under the IEEE 802.3 lossy floor are indistinguishable from a
+// healthy link and mirror as zero.
 func (s *Sim) syncRate(l topology.LinkID) {
 	rate := s.state.WorstRate(l)
-	if rate < 1e-8 {
+	if rate < core.LossyFloor {
 		rate = 0
 	}
 	s.net.SetCorruption(l, rate)
@@ -372,9 +392,11 @@ func (s *Sim) accrue(now time.Duration) {
 	s.lastAccrueAt = now
 }
 
-// settle records the post-mutation penalty level.
+// settle records the post-mutation penalty level. O(1): the network
+// maintains the penalty sum incrementally (no per-event rescan of the
+// corrupting-link set).
 func (s *Sim) settle() {
-	s.lastPenalty = s.net.TotalPenalty(s.cfg.Penalty)
+	s.lastPenalty = s.net.PenaltySum()
 }
 
 func (s *Sim) onFault(f *faults.Fault, now time.Duration) {
@@ -580,7 +602,7 @@ func (s *Sim) applyAction(l topology.LinkID, action faults.RepairAction) {
 // sample records one output point.
 func (s *Sim) sample(now time.Duration) {
 	s.accrue(now)
-	p := s.net.TotalPenalty(s.cfg.Penalty)
+	p := s.net.PenaltySum()
 	s.lastPenalty = p
 	s.result.Samples = append(s.result.Samples, Sample{
 		At:               now,

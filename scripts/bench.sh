@@ -1,6 +1,15 @@
 #!/bin/sh
-# bench.sh — run the core mitigation-engine benchmarks and emit
-# BENCH_core.json (plus the raw `go test` output in BENCH_core.txt).
+# bench.sh — run a benchmark suite and emit a parsed JSON summary (plus the
+# raw `go test` output alongside it).
+#
+# Usage:
+#   scripts/bench.sh              # core suite (default)
+#   scripts/bench.sh core         # fast checker / optimizer / path counting
+#   scripts/bench.sh experiments  # experiment drivers, serial vs parallel
+#
+# The core suite writes BENCH_core.{txt,json}; the experiments suite runs
+# BenchmarkExperimentsSuite (each multi-scenario driver at ScaleSmall with
+# Workers=1 and Workers=NumCPU) and writes BENCH_experiments.{txt,json}.
 #
 # One JSON object per benchmark line, keyed by the reported units, e.g.
 #   {"name":"BenchmarkFastChecker-8","iterations":3504,
@@ -10,11 +19,29 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-TXT=BENCH_core.txt
-JSON=BENCH_core.json
-PATTERN='FastChecker|Optimizer|PathCounting'
+SUITE=${1:-core}
+case "$SUITE" in
+core)
+	TXT=BENCH_core.txt
+	JSON=BENCH_core.json
+	PATTERN='FastChecker|Optimizer|PathCounting'
+	COUNT=5
+	;;
+experiments)
+	TXT=BENCH_experiments.txt
+	JSON=BENCH_experiments.json
+	PATTERN='ExperimentsSuite'
+	# Each iteration replays whole experiments; one timed run per
+	# sub-benchmark keeps the suite in minutes.
+	COUNT=1
+	;;
+*)
+	echo "bench.sh: unknown suite '$SUITE' (want core or experiments)" >&2
+	exit 2
+	;;
+esac
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count=5 . | tee "$TXT"
+go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" . | tee "$TXT"
 
 awk '
 BEGIN { print "["; first = 1 }
