@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race test-race fuzz bench bench-experiments clean
+.PHONY: all build test lint vet ci race test-race fuzz bench bench-experiments clean
 
 all: build test
 
@@ -9,6 +9,21 @@ build:
 
 test:
 	$(GO) test ./...
+
+## vet: the stock toolchain checks only.
+vet:
+	$(GO) vet ./...
+
+## lint: the full static-analysis gate — go vet, the repository's own
+## corropt-lint analyzer suite (nodeterminism, maprange, errwrap, mutexheld;
+## see DESIGN.md §8), and staticcheck when the binary is installed. Exits
+## non-zero on any finding; `//lint:allow <analyzer> <reason>` suppresses a
+## finding on its own or the following line and the reason is mandatory.
+lint:
+	./scripts/lint.sh
+
+## ci: everything the CI workflow runs, in the same order.
+ci: build test lint race test-race
 
 ## race: the parallel-optimizer and incremental-engine paths under the race
 ## detector (Workers>1 workers each own a cloned PathCounter scratch).

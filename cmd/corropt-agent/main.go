@@ -20,10 +20,16 @@ import (
 
 	"corropt"
 	"corropt/internal/detector"
+	"corropt/internal/simclock"
 	"corropt/internal/snmplite"
 	"corropt/internal/telemetry"
 	"corropt/internal/topology"
 )
+
+// clk is the agent's wall-clock source. It is a simclock.WallClock so a
+// sim-replayable harness can substitute virtual time; the deployed binary
+// runs on the system clock.
+var clk simclock.WallClock = simclock.Real{}
 
 func main() {
 	var (
@@ -88,7 +94,7 @@ func main() {
 	}
 	var repairs []pending
 	queueRepair := func(l corropt.LinkID) {
-		repairs = append(repairs, pending{link: l, due: time.Now().Add(*repairGap)})
+		repairs = append(repairs, pending{link: l, due: clk.Now().Add(*repairGap)})
 		sort.Slice(repairs, func(a, b int) bool { return repairs[a].due.Before(repairs[b].due) })
 	}
 
@@ -121,7 +127,7 @@ func main() {
 	interval := telemetry.DefaultInterval
 	virtual := interval
 	completeDue := func() {
-		now := time.Now()
+		now := clk.Now()
 		for len(repairs) > 0 && repairs[0].due.Before(now) {
 			p := repairs[0]
 			repairs = repairs[1:]
@@ -148,7 +154,7 @@ func main() {
 	}
 	// Drain outstanding repairs, letting the detector observe recoveries.
 	for len(repairs) > 0 {
-		time.Sleep(time.Until(repairs[0].due))
+		time.Sleep(repairs[0].due.Sub(clk.Now()))
 		completeDue()
 		pollAndReport(virtual)
 		virtual += interval

@@ -1,0 +1,79 @@
+// Command corropt-lint is the multichecker driver for the repository's
+// determinism & safety analyzer suite (internal/analysis): nodeterminism,
+// maprange, errwrap, and mutexheld. It is the custom third leg of `make
+// lint` next to `go vet` and staticcheck, and the permanent CI gate on the
+// determinism contract behind the §7 experiment reports.
+//
+// Usage:
+//
+//	corropt-lint [-list] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit status
+// is 1 when any finding survives `//lint:allow <analyzer> <reason>`
+// suppression, 2 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"corropt/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: corropt-lint [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "Runs the determinism & safety analyzer suite; see DESIGN.md §8.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corropt-lint: %v\n", err)
+		os.Exit(2)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		cwd = ""
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corropt-lint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, name); err == nil {
+					name = rel
+				}
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "corropt-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression annotation:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// The annotation suppresses <analyzer>'s diagnostics on the annotation's own
+// line and on the line directly below it (so both trailing and standalone
+// placements work). The reason is mandatory: an exception without a recorded
+// justification is itself reported as a finding, as is an annotation naming
+// an analyzer that is not part of the suite — both keep the allowlist
+// auditable.
+const allowPrefix = "lint:allow"
+
+// lineKey identifies one source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// collectAllows scans the package's comments for lint:allow annotations.
+// It returns the per-line suppression map and a list of diagnostics for
+// malformed annotations. known is the set of valid analyzer names.
+func collectAllows(pkg *Package, known map[string]bool) (map[lineKey]map[string]bool, []Diagnostic) {
+	allows := make(map[lineKey]map[string]bool)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintallow",
+						Message:  "malformed lint:allow: missing analyzer name and reason",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintallow",
+						Message:  "lint:allow names unknown analyzer \"" + name + "\"",
+					})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "lintallow",
+						Message:  "lint:allow " + name + " is missing a reason — document why the exception is sound",
+					})
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					k := lineKey{file: pos.Filename, line: line}
+					if allows[k] == nil {
+						allows[k] = make(map[string]bool)
+					}
+					allows[k][name] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+// filterAllowed drops diagnostics whose line carries a matching lint:allow
+// annotation.
+func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows map[lineKey]map[string]bool) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if allows[lineKey{file: pos.Filename, line: pos.Line}][d.Analyzer] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

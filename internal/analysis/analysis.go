@@ -1,0 +1,125 @@
+// Package analysis is a self-contained static-analysis framework plus the
+// repository's determinism & safety lint suite.
+//
+// The framework half (Analyzer, Pass, Diagnostic, Load) mirrors the shape of
+// golang.org/x/tools/go/analysis so the analyzers could be ported to a
+// multichecker verbatim, but is implemented entirely on the standard
+// library's go/ast + go/types: packages are enumerated with `go list -export
+// -deps -json`, module packages are type-checked from source, and external
+// (standard-library) dependencies are imported from the build cache's
+// compiled export data. No network access and no third-party modules are
+// required, which keeps `make lint` runnable in the same hermetic
+// environment as `go test`.
+//
+// The analyzer half enforces the determinism contract established in
+// DESIGN.md §7 (byte-identical experiment reports for any worker count) and
+// the core.Network mutation discipline of §6–§7: see NoDeterminism,
+// MapRange, ErrWrap, and MutexHeld, and DESIGN.md §8 for the rationale of
+// each.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:allow <name> <reason>` suppression annotations.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run executes the analyzer on one package, reporting findings through
+	// pass.Report / pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run with a single type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Path is the package's import path (e.g. "corropt/internal/sim").
+	Path string
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Pos
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string
+	// Message describes the finding.
+	Message string
+}
+
+// Report records a diagnostic against the pass's package.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf records a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the canonical analyzer suite run by cmd/corropt-lint and
+// `make lint`: nodeterminism, maprange, errwrap, and mutexheld, each over
+// its repository-wide default configuration.
+func All() []*Analyzer {
+	return []*Analyzer{NoDeterminism, MapRange, ErrWrap, MutexHeld}
+}
+
+// Run executes the given analyzers over one loaded package and returns the
+// surviving diagnostics: findings on lines carrying a valid
+// `//lint:allow <analyzer> <reason>` annotation are suppressed, malformed
+// annotations are themselves reported (see allow.go), and the result is
+// sorted by position so output is deterministic regardless of analyzer
+// traversal order.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Path:      pkg.Path,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	names := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		names[a.Name] = true
+	}
+	allows, bad := collectAllows(pkg, names)
+	diags = filterAllowed(pkg.Fset, diags, allows)
+	diags = append(diags, bad...)
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}

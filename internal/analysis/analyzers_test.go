@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"corropt/internal/analysis"
+	"corropt/internal/analysis/analysistest"
+)
+
+// TestNoDeterminism pins the nodeterminism analyzer against golden packages:
+// nodet carries every forbidden entropy source plus lint:allow negative
+// cases, nodet_wall checks the per-package rules mapping (wall clock only),
+// and nodet_off must produce nothing because it is absent from the config.
+func TestNoDeterminism(t *testing.T) {
+	a := analysis.NewNoDeterminism(map[string]analysis.Rules{
+		"nodet":      analysis.RulesAll,
+		"nodet_wall": analysis.ForbidWallClock,
+	})
+	analysistest.Run(t, "testdata", a, "nodet", "nodet_wall", "nodet_off")
+}
+
+// TestMapRange pins the maprange analyzer: map-order leaks are flagged,
+// collect-then-sort / commutative reductions / annotated loops are not.
+func TestMapRange(t *testing.T) {
+	a := analysis.NewMapRange(map[string]bool{"mapr": true})
+	analysistest.Run(t, "testdata", a, "mapr")
+}
+
+// TestErrWrap pins the errwrap analyzer: %w enforcement plus dropped-error
+// detection in errw, %w only in wraponly.
+func TestErrWrap(t *testing.T) {
+	a := analysis.NewErrWrap(analysis.ErrWrapConfig{
+		WrapPrefixes:    []string{"errw", "wraponly"},
+		DroppedPrefixes: []string{"errw"},
+	})
+	analysistest.Run(t, "testdata", a, "errw", "wraponly")
+}
+
+// TestMutexHeld pins the mutexheld analyzer: guarded.Net's fields may only
+// be written by the sanctioned writers, closures inherit their enclosing
+// writer's sanction, same-named methods on other types stay exempt, and
+// cross-package writes to exported guarded fields are flagged.
+func TestMutexHeld(t *testing.T) {
+	a := analysis.NewMutexHeld([]analysis.GuardedStruct{{
+		Pkg:     "guarded",
+		Type:    "Net",
+		Fields:  []string{"sum", "items", "count", "Pub"},
+		Writers: []string{"New", "Add", "Apply"},
+	}})
+	analysistest.Run(t, "testdata", a, "guarded", "guardedx")
+}

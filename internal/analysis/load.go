@@ -1,0 +1,223 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one loaded, parsed, and type-checked module package ready for
+// analysis.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset positions all files of this load.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's resolution maps.
+	Info *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir, e.g.
+// "./..."), type-checks every package belonging to the enclosing module from
+// source, and returns them in dependency order. Dependencies outside the
+// module — in this repository, only the standard library — are imported from
+// compiled export data located via `go list -export`, so loading works
+// offline and never re-type-checks the standard library from source.
+//
+// Test files are excluded: the determinism contract binds shipping code, and
+// tests legitimately use wall clocks and ad-hoc randomness.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %w\n%s", err, stderr.String())
+	}
+
+	// -deps emits dependencies before dependents, so a single in-order walk
+	// sees every import already resolved.
+	var listed []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		listed = append(listed, &p)
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string)         // import path -> export data file
+	checked := make(map[string]*types.Package) // module packages checked from source
+	imp := newChainImporter(fset, exports, checked)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Module == nil || lp.Standard {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+			continue
+		}
+		pkg, err := typeCheck(fset, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		checked[lp.ImportPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// typeCheck parses and type-checks one module package.
+func typeCheck(fset *token.FileSet, lp *listedPackage, imp types.Importer) (*Package, error) {
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:  lp.ImportPath,
+		Dir:   lp.Dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// NewInfo returns a types.Info with every resolution map the analyzers
+// consume allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// ExportData locates compiled export data for the named packages and their
+// transitive dependencies via `go list -export` (run in dir, which must lie
+// inside a module so the pinned toolchain applies). It returns import path ->
+// export data file. Packages are compiled on demand into the build cache, so
+// this works offline.
+func ExportData(dir string, pkgs ...string) (map[string]string, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, pkgs...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list -export: %w\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewImporter returns a types importer that resolves packages present in
+// checked from that map and everything else from the given export data.
+// Used by the analysistest harness to type-check golden packages that mix
+// testdata-local imports with standard-library ones.
+func NewImporter(fset *token.FileSet, exports map[string]string, checked map[string]*types.Package) types.ImporterFrom {
+	return newChainImporter(fset, exports, checked)
+}
+
+// chainImporter resolves module packages from the source-checked map and
+// everything else from compiled export data via the gc importer.
+type chainImporter struct {
+	checked map[string]*types.Package
+	gc      types.ImporterFrom
+}
+
+func newChainImporter(fset *token.FileSet, exports map[string]string, checked map[string]*types.Package) *chainImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	gc, ok := importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	if !ok {
+		panic("analysis: gc importer does not implement ImporterFrom")
+	}
+	return &chainImporter{checked: checked, gc: gc}
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := c.checked[path]; ok {
+		return pkg, nil
+	}
+	return c.gc.ImportFrom(path, srcDir, mode)
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRangeConfig lists the packages where map iteration order can leak into
+// ordered output. Experiment reports are compared byte-for-byte across
+// worker counts (DESIGN.md §7.2), so any `range` over a map inside these
+// packages must either follow the collect-then-sort idiom, be an
+// order-independent reduction (a single commutative accumulation), or carry
+// a lint:allow annotation explaining why ordering cannot escape.
+var MapRangeConfig = map[string]bool{
+	"corropt/internal/experiments": true,
+	"corropt/internal/sim":         true,
+	"corropt/internal/core":        true,
+	"corropt/internal/trace":       true,
+}
+
+// NewMapRange returns the maprange analyzer scoped to the given packages.
+func NewMapRange(config map[string]bool) *Analyzer {
+	a := &Analyzer{
+		Name: "maprange",
+		Doc: "flags map iteration whose order can reach report output unless " +
+			"results are evidently sorted afterwards (DESIGN.md §8)",
+	}
+	a.Run = func(pass *Pass) error {
+		if !config[pass.Path] {
+			return nil
+		}
+		runMapRange(pass)
+		return nil
+	}
+	return a
+}
+
+// MapRange is the canonical maprange analyzer over MapRangeConfig.
+var MapRange = NewMapRange(MapRangeConfig)
+
+func runMapRange(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypesInfo.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					continue
+				}
+				if mapRangeSafe(pass, rs, list[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.Pos(), "map iteration order may reach ordered output: collect keys and sort, or annotate with lint:allow if ordering cannot escape")
+			}
+			return true
+		})
+	}
+}
+
+// mapRangeSafe reports whether the map-range statement is one of the two
+// evidently order-independent shapes:
+//
+//  1. collect-then-sort: the body only appends to / indexes into collector
+//     variables, and every appended-to slice is passed to a sort.* or
+//     slices.Sort* call in a later statement of the same block;
+//  2. commutative reduction: every body statement is an x += e, x -= e,
+//     x++, x--, or map/set insertion — accumulations whose result is
+//     independent of visit order.
+func mapRangeSafe(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	collectors := make(map[types.Object]bool)
+	safeBody := true
+	for _, stmt := range rs.Body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if !assignIsCollectOrReduce(pass, s, collectors) {
+				safeBody = false
+			}
+		case *ast.IncDecStmt:
+			// x++ / x-- are commutative.
+		case *ast.IfStmt:
+			// A guarded collect/reduce (if cond { ... }) is safe when its
+			// body is; conservative: require the same shapes inside.
+			if s.Else != nil || !stmtsAreCollectOrReduce(pass, s.Body.List, collectors) {
+				safeBody = false
+			}
+		default:
+			safeBody = false
+		}
+		if !safeBody {
+			return false
+		}
+	}
+	// Pure reduction (no collectors) is order-independent as-is.
+	if len(collectors) == 0 {
+		return true
+	}
+	// Collectors must all be sorted later in the same block.
+	sorted := make(map[types.Object]bool)
+	for _, stmt := range rest {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[id]; obj != nil && collectors[obj] {
+							sorted[obj] = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	for obj := range collectors {
+		if !sorted[obj] {
+			return false
+		}
+	}
+	return true
+}
+
+// stmtsAreCollectOrReduce reports whether every statement is a collect or
+// commutative-reduce shape, recording collector objects.
+func stmtsAreCollectOrReduce(pass *Pass, stmts []ast.Stmt, collectors map[types.Object]bool) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if !assignIsCollectOrReduce(pass, s, collectors) {
+				return false
+			}
+		case *ast.IncDecStmt:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// assignIsCollectOrReduce classifies one assignment inside a map-range body.
+// Collect shapes record the collector object.
+func assignIsCollectOrReduce(pass *Pass, s *ast.AssignStmt, collectors map[types.Object]bool) bool {
+	// x += e / x -= e / x |= e / x &= e on numeric operands: commutative
+	// accumulations. String += is explicitly NOT exempt — concatenation in
+	// map order is exactly the bug this analyzer exists to catch. (Float +=
+	// is order-sensitive in the last bits; such sums feed output through
+	// fixed-precision verbs and the exact summation order of report-critical
+	// sums is pinned separately — DESIGN.md §7.1 — so numeric += is
+	// accepted.)
+	switch s.Tok.String() {
+	case "+=", "-=", "|=", "&=", "^=":
+		if len(s.Lhs) != 1 {
+			return false
+		}
+		t := pass.TypesInfo.TypeOf(s.Lhs[0])
+		if t == nil {
+			return false
+		}
+		basic, ok := t.Underlying().(*types.Basic)
+		return ok && basic.Info()&types.IsNumeric != 0
+	}
+	if s.Tok.String() != "=" && s.Tok.String() != ":=" {
+		return false
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	// m[k] = v: insertion into another map (order-free).
+	if idx, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+		if t := pass.TypesInfo.TypeOf(idx.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				return true
+			}
+		}
+		return false
+	}
+	// v = append(v, ...): collect into v, to be sorted later.
+	lhsIdent, ok := s.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fnIdent, ok := call.Fun.(*ast.Ident)
+	if !ok || fnIdent.Name != "append" {
+		return false
+	}
+	if _, ok := pass.TypesInfo.Uses[fnIdent].(*types.Builtin); !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(lhsIdent)
+	if obj == nil {
+		return false
+	}
+	collectors[obj] = true
+	return true
+}
+
+// isSortCall reports whether call invokes a function from package sort or
+// slices (sort.Slice, sort.Strings, slices.Sort, slices.SortFunc, ...).
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+		return true
+	}
+	return false
+}

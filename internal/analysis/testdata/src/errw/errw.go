@@ -1,0 +1,67 @@
+// Package errw is the errwrap golden package: both the %w-wrapping check
+// and the dropped-error check are enabled here.
+package errw
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func wrapBadV(err error) error {
+	return fmt.Errorf("open config: %v", err) // want `non-wrapping verb`
+}
+
+func wrapBadS(err error) error {
+	return fmt.Errorf("open config: %s", err) // want `non-wrapping verb`
+}
+
+func wrapGood(err error) error {
+	return fmt.Errorf("open config: %w", err)
+}
+
+func wrapGoodMixed(name string, err error) error {
+	return fmt.Errorf("open %q: %w", name, err)
+}
+
+func wrapNoError(name string) error {
+	return fmt.Errorf("no such experiment %q", name)
+}
+
+func wrapAllowed(err error) error {
+	return fmt.Errorf("boundary: %v", err) //lint:allow errwrap deliberately sever the cause chain at the API boundary
+}
+
+func dropBad(f *os.File) {
+	f.Close() // want `silently discarded`
+}
+
+func dropChmod(name string) {
+	os.Chmod(name, 0o644) // want `silently discarded`
+}
+
+func dropGood(f *os.File) error {
+	return f.Close()
+}
+
+func dropBlank(f *os.File) {
+	_ = f.Close()
+}
+
+func dropDefer(f *os.File) {
+	defer f.Close()
+}
+
+func dropExemptWriters(b *strings.Builder) {
+	b.WriteString("x")
+	fmt.Println("x")
+}
+
+func dropAllowed(f *os.File) {
+	f.Close() //lint:allow errwrap golden negative case: close on already-failed path
+}
+
+func dropClosure() {
+	fail := func() error { return nil }
+	fail() // want `silently discarded`
+}

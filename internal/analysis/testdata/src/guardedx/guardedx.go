@@ -1,0 +1,14 @@
+// Package guardedx exercises cross-package enforcement: even a function
+// named like a sanctioned writer may not mutate guarded.Net's exported
+// state from outside its home package.
+package guardedx
+
+import "guarded"
+
+// Add shares a sanctioned writer's name but lives in the wrong package.
+func Add(n *guarded.Net, v int) {
+	n.Pub = v // want `guarded field Net\.Pub`
+}
+
+// Read-only access is fine.
+func Sum(n *guarded.Net) float64 { return n.Sum() }

@@ -1,0 +1,11 @@
+package nodet
+
+import "time"
+
+func reasonMissing() time.Time {
+	return time.Now() /* want `time\.Now forbidden` `missing a reason` */ //lint:allow nodeterminism
+}
+
+func unknownAnalyzer() time.Time {
+	return time.Now() /* want `time\.Now forbidden` `unknown analyzer` */ //lint:allow bogus some reason
+}

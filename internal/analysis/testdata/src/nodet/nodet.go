@@ -1,0 +1,55 @@
+// Package nodet is the nodeterminism golden package: configured with
+// RulesAll in the test, so wall-clock reads, math/rand, and environment
+// lookups are all flagged, and lint:allow annotations suppress them.
+package nodet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time\.Now forbidden`
+	return time.Since(t0) // want `time\.Since forbidden`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time\.Until forbidden`
+}
+
+func virtualOK(d time.Duration) time.Duration {
+	// Duration arithmetic and formatting are fine; only clock reads are not.
+	return d + 5*time.Minute
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn forbidden`
+}
+
+func localRand() float64 {
+	r := rand.New(rand.NewSource(1)) // want `math/rand\.New forbidden` `math/rand\.NewSource forbidden`
+	return r.Float64()
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os\.Getenv forbidden`
+}
+
+func envLookup() bool {
+	_, ok := os.LookupEnv("HOME") // want `os\.LookupEnv forbidden`
+	return ok
+}
+
+func captured() func() time.Time {
+	return time.Now // want `time\.Now forbidden`
+}
+
+func allowed() time.Time {
+	return time.Now() //lint:allow nodeterminism golden negative case: suppression keeps this line clean
+}
+
+func allowedAbove() time.Time {
+	//lint:allow nodeterminism golden negative case: standalone annotation covers the next line
+	return time.Now()
+}

@@ -1,0 +1,11 @@
+package nodet
+
+import "math/rand" // want `import of math/rand forbidden`
+
+// holder smuggles in rand types without calling any package-level function:
+// the import itself is flagged in that case.
+type holder struct {
+	rng *rand.Rand
+}
+
+func (h *holder) draw() float64 { return h.rng.Float64() }

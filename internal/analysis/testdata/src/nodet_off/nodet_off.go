@@ -1,0 +1,13 @@
+// Package nodet_off is absent from the analyzer's config: nothing here may
+// be flagged even though every forbidden source appears.
+package nodet_off
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func f() (time.Time, int, string) {
+	return time.Now(), rand.Intn(3), os.Getenv("HOME")
+}

@@ -1,0 +1,13 @@
+// Package nodet_wall is configured with only ForbidWallClock: the rand use
+// must NOT be flagged, pinning the per-package rules mapping.
+package nodet_wall
+
+import (
+	"math/rand"
+	"time"
+)
+
+func f() int {
+	_ = time.Now() // want `time\.Now forbidden`
+	return rand.Intn(3)
+}

@@ -1,0 +1,16 @@
+// Package wraponly gets only the %w check in the test's config: the dropped
+// error below must NOT be flagged, pinning the two checks' separate scoping.
+package wraponly
+
+import (
+	"fmt"
+	"os"
+)
+
+func wrapBad(err error) error {
+	return fmt.Errorf("x: %v", err) // want `non-wrapping verb`
+}
+
+func dropNotChecked(f *os.File) {
+	f.Close()
+}

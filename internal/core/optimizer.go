@@ -299,14 +299,17 @@ func (o *Optimizer) segments(contested []topology.LinkID, violated []topology.Sw
 	}
 	out := make([]segment, 0, len(groups))
 	for _, g := range groups {
-		g.tors = dedupToRs(g.tors)
 		out = append(out, *g)
-		if len(g.links) > st.LargestSegment {
-			st.LargestSegment = len(g.links)
+	}
+	// Deterministic order for reproducibility (and to keep the map-order
+	// collection above inside maprange's collect-then-sort idiom).
+	sort.Slice(out, func(i, j int) bool { return out[i].links[0] < out[j].links[0] })
+	for i := range out {
+		out[i].tors = dedupToRs(out[i].tors)
+		if len(out[i].links) > st.LargestSegment {
+			st.LargestSegment = len(out[i].links)
 		}
 	}
-	// Deterministic order for reproducibility.
-	sort.Slice(out, func(i, j int) bool { return out[i].links[0] < out[j].links[0] })
 	st.Segments = len(out)
 	return out
 }

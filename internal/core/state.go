@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sort"
 
 	"corropt/internal/topology"
 )
@@ -84,8 +85,15 @@ func (n *Network) LoadState(r io.Reader) error {
 		return fmt.Errorf("core: state fingerprint %x does not match this topology (%x)",
 			sf.Fingerprint, fingerprint(n.topo))
 	}
+	// Clear corruption records through SetCorruption, not by writing rate
+	// directly: with a registered penalty function the incremental
+	// contribution cache and corrupting-link set must stay in sync with the
+	// rates (mutexheld pins this — direct n.rate writes here once left
+	// PenaltySum stale after a load).
 	for l := range n.rate {
-		n.rate[l] = 0
+		if n.rate[l] != 0 {
+			n.SetCorruption(topology.LinkID(l), 0)
+		}
 	}
 	for _, l := range sf.Disabled {
 		if int(l) < 0 || int(l) >= n.topo.NumLinks() {
@@ -95,21 +103,35 @@ func (n *Network) LoadState(r io.Reader) error {
 	// Replace the disabled set wholesale: one incremental re-sweep rebuilds
 	// counts and per-ToR constraint status.
 	n.resetState(sf.Disabled)
-	for l, rate := range sf.Corruption {
+	// Apply corruption records and constraints in sorted key order so that
+	// partial application and error selection on invalid input are
+	// deterministic, not map-iteration-ordered.
+	links := make([]topology.LinkID, 0, len(sf.Corruption))
+	for l := range sf.Corruption {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return links[i] < links[j] })
+	for _, l := range links {
+		rate := sf.Corruption[l]
 		if int(l) < 0 || int(l) >= n.topo.NumLinks() {
 			return fmt.Errorf("core: state references unknown link %d", l)
 		}
 		if rate < 0 || rate > 1 {
 			return fmt.Errorf("core: state has invalid rate %v for link %d", rate, l)
 		}
-		n.rate[l] = rate
+		n.SetCorruption(l, rate)
 	}
-	for name, c := range sf.Constraints {
+	names := make([]string, 0, len(sf.Constraints))
+	for name := range sf.Constraints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		id, ok := n.topo.SwitchByName(name)
 		if !ok {
 			return fmt.Errorf("core: state references unknown ToR %q", name)
 		}
-		if err := n.SetToRConstraint(id, c); err != nil {
+		if err := n.SetToRConstraint(id, sf.Constraints[name]); err != nil {
 			return err
 		}
 	}

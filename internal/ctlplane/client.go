@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"corropt/internal/simclock"
 	"corropt/internal/topology"
 )
 
@@ -14,26 +15,36 @@ import (
 type Client struct {
 	conn    net.Conn
 	timeout time.Duration
+	clock   simclock.WallClock
 }
 
 // Dial connects to the controller at addr with a per-call deadline
-// (default 5s when zero).
+// (default 5s when zero), reading deadlines from the system clock.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialClock(addr, timeout, simclock.Real{})
+}
+
+// DialClock is Dial with an injected wall clock, for harnesses that replay
+// the control plane against virtual time.
+func DialClock(addr string, timeout time.Duration, clock simclock.WallClock) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
+	}
+	if clock == nil {
+		clock = simclock.Real{}
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ctlplane: dial: %w", err)
 	}
-	return &Client{conn: conn, timeout: timeout}, nil
+	return &Client{conn: conn, timeout: timeout, clock: clock}, nil
 }
 
 // Close tears the connection down.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) roundTrip(req *Envelope) (*Envelope, error) {
-	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+	if err := c.conn.SetDeadline(c.clock.Now().Add(c.timeout)); err != nil {
 		return nil, err
 	}
 	if err := WriteMsg(c.conn, req); err != nil {

@@ -54,7 +54,7 @@ func (c *Controller) Close() error {
 	c.closed = true
 	err := c.ln.Close()
 	for conn := range c.conns {
-		conn.Close()
+		_ = conn.Close() // best-effort teardown; the listener error is the one reported
 	}
 	c.lnMu.Unlock()
 	c.wg.Wait()
@@ -71,7 +71,7 @@ func (c *Controller) acceptLoop() {
 		c.lnMu.Lock()
 		if c.closed {
 			c.lnMu.Unlock()
-			conn.Close()
+			_ = conn.Close() // racing shutdown; nothing to report the error to
 			return
 		}
 		c.conns[conn] = struct{}{}
@@ -84,7 +84,7 @@ func (c *Controller) acceptLoop() {
 func (c *Controller) serveConn(conn net.Conn) {
 	defer c.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // connection is done either way; error carries no signal here
 		c.lnMu.Lock()
 		delete(c.conns, conn)
 		c.lnMu.Unlock()

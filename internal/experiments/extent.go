@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"corropt/internal/faults"
@@ -182,6 +183,9 @@ func tab1(cfg Config) (*Report, error) {
 	for _, v := range meanRate {
 		corrRates = append(corrRates, v)
 	}
+	// Bucketization below is order-free, but sort anyway so the collected
+	// values never depend on map iteration order.
+	sort.Float64s(corrRates)
 
 	// Congestion: mean worst-direction loss per congested link, sampled
 	// every 15 minutes.

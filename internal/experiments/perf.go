@@ -14,6 +14,17 @@ func init() {
 	register("perf", "§5.1/§6 runtime claims: fast checker and optimizer latency on the large DCN", perf)
 }
 
+// wallTime measures f's real elapsed time. The perf experiment's entire
+// point is comparing wall-clock latency against the paper's §5.1/§6 runtime
+// claims, so its report rows are intentionally machine-dependent; these two
+// annotations are the audited exception to the nodeterminism rule in
+// internal/experiments (see DESIGN.md §8).
+func wallTime(f func()) time.Duration {
+	start := time.Now() //lint:allow nodeterminism perf experiment measures real wall-clock latency (§5.1/§6 runtime claims)
+	f()
+	return time.Since(start) //lint:allow nodeterminism perf experiment measures real wall-clock latency (§5.1/§6 runtime claims)
+}
+
 // perf measures the two runtime claims of §5.1/§6 on the O(35K)-link
 // topology: the fast checker "takes only 100-300 ms for the largest DCN"
 // and the optimizer finishes "in less than one minute on a 1.3 GHz computer
@@ -60,11 +71,11 @@ func perf(cfg Config) (*Report, error) {
 		}
 		fc := core.NewFastChecker(net)
 		const iters = 200
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			fc.CanDisable(corrupting[i%len(corrupting)])
-		}
-		mean := time.Since(start) / iters
+		mean := wallTime(func() {
+			for i := 0; i < iters; i++ {
+				fc.CanDisable(corrupting[i%len(corrupting)])
+			}
+		}) / iters
 		r.AddRow("fast checker decision", fmt.Sprintf("%d", topo.NumLinks()),
 			fmt.Sprintf("%d", iters), mean.String(), "100-300 ms")
 	}
@@ -72,11 +83,11 @@ func perf(cfg Config) (*Report, error) {
 	{
 		pc := topology.NewPathCounter(topo)
 		const iters = 200
-		start := time.Now()
-		for i := 0; i < iters; i++ {
-			pc.Count(func(l topology.LinkID) bool { return l%97 == 0 })
-		}
-		mean := time.Since(start) / iters
+		mean := wallTime(func() {
+			for i := 0; i < iters; i++ {
+				pc.Count(func(l topology.LinkID) bool { return l%97 == 0 })
+			}
+		}) / iters
 		r.AddRow("valley-free path count sweep", fmt.Sprintf("%d", topo.NumLinks()),
 			fmt.Sprintf("%d", iters), mean.String(), "(not reported)")
 	}
@@ -90,9 +101,7 @@ func perf(cfg Config) (*Report, error) {
 				return nil, err
 			}
 			opt := core.NewOptimizer(net, core.LinearPenalty, core.OptimizerConfig{})
-			start := time.Now()
-			opt.Run(1e-6)
-			total += time.Since(start)
+			total += wallTime(func() { opt.Run(1e-6) })
 		}
 		r.AddRow("optimizer run (200 corrupting links)", fmt.Sprintf("%d", topo.NumLinks()),
 			fmt.Sprintf("%d", iters), (total / iters).String(), "< 1 minute")

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"corropt/internal/core"
 	"corropt/internal/faults"
@@ -78,9 +79,17 @@ func tab2(cfg Config) (*Report, error) {
 		if diagnosed[c] > 0 {
 			acc = float64(hits[c]) / float64(diagnosed[c])
 		}
+		// Argmax in sorted action order: with map iteration the winner of a
+		// tie depended on runtime map order, making the report row
+		// nondeterministic. Ties now break toward the lowest action value.
 		dominant, best := faults.ActionUnknown, 0
-		for a, k := range recs[c] {
-			if k > best {
+		var actions []faults.RepairAction
+		for a := range recs[c] {
+			actions = append(actions, a)
+		}
+		sort.Slice(actions, func(i, j int) bool { return actions[i] < actions[j] })
+		for _, a := range actions {
+			if k := recs[c][a]; k > best {
 				dominant, best = a, k
 			}
 		}

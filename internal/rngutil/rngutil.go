@@ -24,7 +24,8 @@ type Source struct {
 func New(seed uint64) *Source {
 	return &Source{
 		seed: seed,
-		rng:  rand.New(rand.NewSource(int64(seed))),
+		//lint:allow nodeterminism rngutil is the sole sanctioned consumer of math/rand; every draw flows through a named, seeded substream
+		rng: rand.New(rand.NewSource(int64(seed))),
 	}
 }
 

@@ -1,6 +1,9 @@
 package rngutil
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestDeterminism(t *testing.T) {
 	a := New(42).Split("faults")
@@ -45,6 +48,75 @@ func TestSiblingParentsIndependent(t *testing.T) {
 	b := New(2).Split("x")
 	if a.Seed() == b.Seed() {
 		t.Fatal("sub-streams of different parents collide")
+	}
+}
+
+// TestSubstreamIsolation pins the property the whole determinism contract
+// rests on (DESIGN.md §7/§8): consuming — or even creating — one sub-stream
+// must not perturb the draws seen by a sibling. This is exactly what lets a
+// new consumer of randomness be added without shifting every existing
+// experiment's tables.
+func TestSubstreamIsolation(t *testing.T) {
+	// Reference run: only "faults" is consumed.
+	ref := New(42)
+	faults := ref.Split("faults")
+	want := make([]float64, 50)
+	for i := range want {
+		want[i] = faults.Float64()
+	}
+
+	// Perturbed run: interleave creation and consumption of other
+	// sub-streams between every "faults" draw.
+	per := New(42)
+	pf := per.Split("faults")
+	noise := per.Split("noise")
+	for i := range want {
+		_ = noise.Float64()
+		_ = per.Split("late-consumer").Intn(100)
+		_ = per.SplitIndex("link", i).Float64()
+		if got := pf.Float64(); got != want[i] {
+			t.Fatalf("draw %d perturbed by sibling streams: got %v want %v", i, got, want[i])
+		}
+	}
+}
+
+// TestSubstreamCorrelation checks statistical independence between named
+// sub-streams, not just inequality: the sample correlation of paired draws
+// from two siblings must be indistinguishable from zero at n=10000
+// (|r| < ~4/sqrt(n)).
+func TestSubstreamCorrelation(t *testing.T) {
+	root := New(1234)
+	a := root.Split("alpha")
+	b := root.Split("beta")
+	const n = 10000
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	r := cov / math.Sqrt(vx*vy)
+	if math.Abs(r) > 4/math.Sqrt(n) {
+		t.Fatalf("sub-streams alpha/beta correlated: r = %v", r)
+	}
+}
+
+// TestSplitIndexIndependentOfSplit pins that SplitIndex(name, i) and
+// Split(name) occupy distinct seed spaces: an indexed stream must never
+// collide with the plain named stream of the same name.
+func TestSplitIndexIndependentOfSplit(t *testing.T) {
+	root := New(99)
+	plain := root.Split("link")
+	for i := 0; i < 1000; i++ {
+		if s := root.SplitIndex("link", i); s.Seed() == plain.Seed() {
+			t.Fatalf("SplitIndex(%q, %d) collides with Split(%q)", "link", i, "link")
+		}
 	}
 }
 

@@ -1,0 +1,37 @@
+package simclock
+
+import "time"
+
+// WallClock abstracts absolute wall-clock reads for components that run both
+// against real time (the deployed agent and its UDP/TCP clients) and against
+// replayed virtual time (simulation harnesses). Production wiring injects
+// Real; sim-replayable wiring injects a Virtual bound to the experiment's
+// event clock, which keeps the nodeterminism analyzer's no-time.Now contract
+// intact without blanket-allowlisting whole files (DESIGN.md §8).
+type WallClock interface {
+	// Now reports the current absolute time.
+	Now() time.Time
+}
+
+// Real reads the system clock.
+type Real struct{}
+
+// Now returns the system time. This is the one sanctioned wall-clock read on
+// the deployment path; everything else takes a WallClock.
+func (Real) Now() time.Time {
+	//lint:allow nodeterminism Real is the audited wall-clock source; sim-replayable code injects Virtual instead
+	return time.Now()
+}
+
+// Virtual adapts an event Clock to WallClock: the virtual offset is applied
+// to a fixed epoch, so replaying the same event sequence yields the same
+// timestamps on every run.
+type Virtual struct {
+	// Clock supplies the virtual offset.
+	Clock *Clock
+	// Epoch anchors offset zero; the zero time is a fine epoch.
+	Epoch time.Time
+}
+
+// Now returns the epoch advanced by the clock's virtual offset.
+func (v Virtual) Now() time.Time { return v.Epoch.Add(v.Clock.Now()) }

@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"corropt/internal/simclock"
 	"corropt/internal/telemetry"
 	"corropt/internal/topology"
 )
@@ -19,23 +20,34 @@ type Client struct {
 	retries int
 	nextID  uint32
 	buf     []byte
+	clock   simclock.WallClock
 }
 
 // Dial connects a client to the server at addr. timeout is the per-attempt
 // response deadline (default 500ms) and retries the number of
-// retransmissions after the first attempt (default 3).
+// retransmissions after the first attempt (default 3). Deadlines read the
+// system clock.
 func Dial(addr string, timeout time.Duration, retries int) (*Client, error) {
+	return DialClock(addr, timeout, retries, simclock.Real{})
+}
+
+// DialClock is Dial with an injected wall clock, for harnesses that replay
+// telemetry polls against virtual time.
+func DialClock(addr string, timeout time.Duration, retries int, clock simclock.WallClock) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 500 * time.Millisecond
 	}
 	if retries < 0 {
 		retries = 3
 	}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
 	conn, err := net.Dial("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("snmplite: dial: %w", err)
 	}
-	return &Client{conn: conn, timeout: timeout, retries: retries, buf: make([]byte, 64*1024)}, nil
+	return &Client{conn: conn, timeout: timeout, retries: retries, buf: make([]byte, 64*1024), clock: clock}, nil
 }
 
 // Close releases the client's socket.
@@ -72,7 +84,7 @@ func (c *Client) getOnce(queries []Query) ([]Value, error) {
 		if _, err := c.conn.Write(pkt); err != nil {
 			return nil, fmt.Errorf("snmplite: send: %w", err)
 		}
-		deadline := time.Now().Add(c.timeout)
+		deadline := c.clock.Now().Add(c.timeout)
 		if err := c.conn.SetReadDeadline(deadline); err != nil {
 			return nil, err
 		}

@@ -16,8 +16,24 @@
 #    "ns/op":335399,"B/op":0,"allocs/op":0}
 # Custom metrics (e.g. "cone-switches" from BenchmarkPathCountingScoped)
 # come through under their own unit names.
+#
+# Benchmarks from a tree that fails `make lint` are not comparable (a
+# nodeterminism or mutexheld violation can silently change what the code
+# under test computes), so the script refuses to run unless the lint gate is
+# clean. Pass -force (or set FORCE=1) to benchmark anyway.
 set -eu
 cd "$(dirname "$0")/.."
+
+FORCE=${FORCE:-0}
+ARGS=
+for a in "$@"; do
+	case "$a" in
+	-force | --force) FORCE=1 ;;
+	*) ARGS="$ARGS $a" ;;
+	esac
+done
+# shellcheck disable=SC2086
+set -- $ARGS
 
 SUITE=${1:-core}
 case "$SUITE" in
@@ -40,6 +56,15 @@ experiments)
 	exit 2
 	;;
 esac
+
+if [ "$FORCE" != 1 ]; then
+	echo "bench.sh: checking the lint gate before benchmarking (skip with -force or FORCE=1)"
+	if ! ./scripts/lint.sh >/dev/null 2>&1; then
+		echo "bench.sh: tree fails 'make lint'; refusing to record benchmark numbers from a dirty tree" >&2
+		echo "bench.sh: fix the findings (run 'make lint') or rerun with -force to override" >&2
+		exit 1
+	fi
+fi
 
 go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" . | tee "$TXT"
 
