@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint vet ci race test-race fuzz bench bench-experiments clean
+.PHONY: all build test lint vet ci race test-race fuzz bench bench-experiments bench-lint clean
 
 all: build test
 
@@ -15,8 +15,9 @@ vet:
 	$(GO) vet ./...
 
 ## lint: the full static-analysis gate — go vet, the repository's own
-## corropt-lint analyzer suite (nodeterminism, maprange, errwrap, mutexheld;
-## see DESIGN.md §8), and staticcheck when the binary is installed. Exits
+## corropt-lint analyzer suite (nodeterminism, maprange, errwrap, mutexheld,
+## lockorder, gorolife, aliasescape, stalecache; see DESIGN.md §8), and
+## staticcheck when the binary is installed. Exits
 ## non-zero on any finding; `//lint:allow <analyzer> <reason>` suppresses a
 ## finding on its own or the following line and the reason is mandatory.
 lint:
@@ -55,5 +56,11 @@ bench:
 bench-experiments:
 	./scripts/bench.sh experiments
 
+## bench-lint: corropt-lint wall-time — analyzer fan-out (BenchmarkLintRepo)
+## and package load/type-check startup (BenchmarkLintLoad); raw text goes to
+## BENCH_lint.txt and a parsed summary to BENCH_lint.json.
+bench-lint:
+	./scripts/bench.sh lint
+
 clean:
-	rm -f BENCH_core.txt BENCH_core.json BENCH_experiments.txt BENCH_experiments.json
+	rm -f BENCH_core.txt BENCH_core.json BENCH_experiments.txt BENCH_experiments.json BENCH_lint.txt BENCH_lint.json

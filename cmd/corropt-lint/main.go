@@ -1,31 +1,93 @@
 // Command corropt-lint is the multichecker driver for the repository's
 // determinism & safety analyzer suite (internal/analysis): nodeterminism,
-// maprange, errwrap, and mutexheld. It is the custom third leg of `make
-// lint` next to `go vet` and staticcheck, and the permanent CI gate on the
+// maprange, errwrap, mutexheld, and the flow-powered lockorder, gorolife,
+// aliasescape, and stalecache. It is the custom third leg of `make lint`
+// next to `go vet` and staticcheck, and the permanent CI gate on the
 // determinism contract behind the §7 experiment reports.
 //
 // Usage:
 //
-//	corropt-lint [-list] [packages]
+//	corropt-lint [-list] [-json] [-baseline file] [-workers n] [packages]
 //
-// Packages default to ./... relative to the current directory. Exit status
-// is 1 when any finding survives `//lint:allow <analyzer> <reason>`
-// suppression, 2 on operational errors.
+// Packages default to ./... relative to the current directory. All packages
+// are loaded up front and summarized into one module-wide flow world (lock
+// graph, goroutine join facts, alias-returning accessors), then the
+// analyzers run per package on a bounded worker pool (internal/runner) and
+// the findings are merged in deterministic package/position order — output
+// is byte-identical for any -workers value.
+//
+// -json emits the findings as a JSON array ({file, line, col, analyzer,
+// message, suppressed, baselined}), including suppressed ones so the
+// `//lint:allow` exception inventory stays visible to tooling; text output
+// prints only the live findings.
+//
+// -baseline ratchets: the file holds one `file: analyzer: message` line per
+// accepted legacy finding (line numbers are deliberately absent so
+// unrelated edits do not invalidate entries). Baselined findings are
+// reported as warnings but do not fail the gate; anything not in the file
+// does. An empty or absent baseline makes every finding fatal.
+//
+// Exit status is 1 when any finding survives suppression and the baseline,
+// 2 on operational errors.
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"corropt/internal/analysis"
+	"corropt/internal/runner"
 )
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Baselined  bool   `json:"baselined"`
+}
+
+// baselineKey is the line-number-free identity of a finding used by the
+// -baseline ratchet.
+func baselineKey(f jsonFinding) string {
+	return f.File + ": " + f.Analyzer + ": " + f.Message
+}
+
+// readBaseline loads the accepted-finding set; comment (#) and blank lines
+// are skipped.
+func readBaseline(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	set := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		set[line] = true
+	}
+	return set, sc.Err()
+}
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (including suppressed ones)")
+	baselinePath := flag.String("baseline", "", "ratchet `file` of accepted findings (file: analyzer: message per line)")
+	workers := flag.Int("workers", 0, "analyzer worker pool size (<=0: one per CPU); output is identical for any value")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: corropt-lint [-list] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: corropt-lint [-list] [-json] [-baseline file] [-workers n] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the determinism & safety analyzer suite; see DESIGN.md §8.\n")
 		flag.PrintDefaults()
 	}
@@ -39,41 +101,91 @@ func main() {
 		return
 	}
 
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "corropt-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var baseline map[string]bool
+	if *baselinePath != "" {
+		var err error
+		if baseline, err = readBaseline(*baselinePath); err != nil {
+			fail(err)
+		}
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "corropt-lint: %v\n", err)
-		os.Exit(2)
+		fail(err)
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
 		cwd = ""
 	}
 
-	findings := 0
-	for _, pkg := range pkgs {
-		diags, err := analysis.Run(pkg, analyzers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "corropt-lint: %v\n", err)
-			os.Exit(2)
-		}
-		for _, d := range diags {
-			pos := pkg.Fset.Position(d.Pos)
+	world := analysis.BuildWorld(pkgs)
+
+	// Per-package analyzer runs fan out on the pool; runner.Map returns the
+	// results in package index order, so the merged output is deterministic
+	// for any worker count.
+	perPkg, err := runner.Map(*workers, len(pkgs), func(i int) ([]analysis.Finding, error) {
+		return analysis.RunDetailed(pkgs[i], analyzers, world)
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	var out []jsonFinding
+	live := 0
+	for i, findings := range perPkg {
+		for _, f := range findings {
+			pos := pkgs[i].Fset.Position(f.Pos)
 			name := pos.Filename
 			if cwd != "" {
 				if rel, err := filepath.Rel(cwd, name); err == nil {
 					name = rel
 				}
 			}
-			fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
-			findings++
+			jf := jsonFinding{
+				File: name, Line: pos.Line, Col: pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+				Suppressed: f.Suppressed,
+			}
+			jf.Baselined = !jf.Suppressed && baseline[baselineKey(jf)]
+			out = append(out, jf)
+			if !jf.Suppressed && !jf.Baselined {
+				live++
+			}
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "corropt-lint: %d finding(s)\n", findings)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if out == nil {
+			out = []jsonFinding{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, f := range out {
+			if f.Suppressed {
+				continue
+			}
+			suffix := ""
+			if f.Baselined {
+				suffix = " (baselined)"
+			}
+			fmt.Printf("%s:%d:%d: %s: %s%s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message, suffix)
+		}
+	}
+	if live > 0 {
+		fmt.Fprintf(os.Stderr, "corropt-lint: %d finding(s)\n", live)
 		os.Exit(1)
 	}
 }

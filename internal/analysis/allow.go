@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"go/token"
 	"strings"
 )
 
@@ -75,21 +74,4 @@ func collectAllows(pkg *Package, known map[string]bool) (map[lineKey]map[string]
 		}
 	}
 	return allows, bad
-}
-
-// filterAllowed drops diagnostics whose line carries a matching lint:allow
-// annotation.
-func filterAllowed(fset *token.FileSet, diags []Diagnostic, allows map[lineKey]map[string]bool) []Diagnostic {
-	if len(allows) == 0 {
-		return diags
-	}
-	out := diags[:0]
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		if allows[lineKey{file: pos.Filename, line: pos.Line}][d.Analyzer] {
-			continue
-		}
-		out = append(out, d)
-	}
-	return out
 }

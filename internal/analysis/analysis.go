@@ -15,7 +15,10 @@
 // DESIGN.md §7 (byte-identical experiment reports for any worker count) and
 // the core.Network mutation discipline of §6–§7: see NoDeterminism,
 // MapRange, ErrWrap, and MutexHeld, and DESIGN.md §8 for the rationale of
-// each.
+// each. The flow-powered half (LockOrder, GoroLife, AliasEscape, StaleCache)
+// layers a CFG + reaching-definitions engine and cross-package function
+// summaries (internal/analysis/flow) on the same loader; see DESIGN.md §8
+// "Flow analyses".
 package analysis
 
 import (
@@ -24,6 +27,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+
+	"corropt/internal/analysis/flow"
 )
 
 // An Analyzer describes one static-analysis pass.
@@ -47,8 +52,28 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Path is the package's import path (e.g. "corropt/internal/sim").
 	Path string
+	// World holds the module-wide flow summaries (lock graph, goroutine
+	// join facts, alias-returning functions) shared by every package's
+	// passes. It may be nil for single-package runs; analyzers that need it
+	// go through world(), which lazily builds a single-package world.
+	World *flow.World
 
 	diags *[]Diagnostic
+}
+
+// world returns the pass's flow world, building a transient single-package
+// one when the caller did not supply a module-wide world (raw Pass
+// construction in tests, or Run without BuildWorld). Single-package worlds
+// see no cross-package call edges, so transitive facts degrade gracefully to
+// intraprocedural ones.
+func (p *Pass) world() *flow.World {
+	if p.World == nil {
+		w := flow.NewWorld()
+		w.AddPackage(p.Path, p.Fset, p.Files, p.Pkg, p.TypesInfo)
+		w.Finalize()
+		p.World = w
+	}
+	return p.World
 }
 
 // A Diagnostic is one finding of one analyzer.
@@ -73,10 +98,34 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 }
 
 // All returns the canonical analyzer suite run by cmd/corropt-lint and
-// `make lint`: nodeterminism, maprange, errwrap, and mutexheld, each over
-// its repository-wide default configuration.
+// `make lint`: nodeterminism, maprange, errwrap, and mutexheld over their
+// repository-wide default configurations, plus the flow-powered lockorder,
+// gorolife, aliasescape, and stalecache.
 func All() []*Analyzer {
-	return []*Analyzer{NoDeterminism, MapRange, ErrWrap, MutexHeld}
+	return []*Analyzer{
+		NoDeterminism, MapRange, ErrWrap, MutexHeld,
+		LockOrder, GoroLife, AliasEscape, StaleCache,
+	}
+}
+
+// A Finding is one diagnostic plus its suppression state: Suppressed
+// findings matched a valid `//lint:allow` annotation and do not fail the
+// gate, but are still reported (cmd/corropt-lint -json exposes them so the
+// exception inventory stays visible).
+type Finding struct {
+	Diagnostic
+	Suppressed bool
+}
+
+// BuildWorld summarizes every package into one flow.World and finalizes it.
+// The result is read-only and safe to share across concurrent RunW calls.
+func BuildWorld(pkgs []*Package) *flow.World {
+	w := flow.NewWorld()
+	for _, pkg := range pkgs {
+		w.AddPackage(pkg.Path, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	}
+	w.Finalize()
+	return w
 }
 
 // Run executes the given analyzers over one loaded package and returns the
@@ -84,8 +133,32 @@ func All() []*Analyzer {
 // `//lint:allow <analyzer> <reason>` annotation are suppressed, malformed
 // annotations are themselves reported (see allow.go), and the result is
 // sorted by position so output is deterministic regardless of analyzer
-// traversal order.
+// traversal order. Flow analyzers run against a transient single-package
+// world; use RunW with BuildWorld for module-wide facts.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunW(pkg, analyzers, nil)
+}
+
+// RunW is Run with an explicit module-wide flow world (nil behaves like Run).
+func RunW(pkg *Package, analyzers []*Analyzer, world *flow.World) ([]Diagnostic, error) {
+	findings, err := RunDetailed(pkg, analyzers, world)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, f := range findings {
+		if !f.Suppressed {
+			diags = append(diags, f.Diagnostic)
+		}
+	}
+	return diags, nil
+}
+
+// RunDetailed executes the given analyzers over one loaded package and
+// returns every finding with its suppression state, sorted by position.
+// world supplies module-wide flow facts to the flow analyzers; nil falls
+// back to a transient single-package world.
+func RunDetailed(pkg *Package, analyzers []*Analyzer, world *flow.World) ([]Finding, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -95,6 +168,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			Path:      pkg.Path,
+			World:     world,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
@@ -106,10 +180,17 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		names[a.Name] = true
 	}
 	allows, bad := collectAllows(pkg, names)
-	diags = filterAllowed(pkg.Fset, diags, allows)
-	diags = append(diags, bad...)
-	sort.Slice(diags, func(i, j int) bool {
-		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
+	findings := make([]Finding, 0, len(diags)+len(bad))
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		suppressed := allows[lineKey{file: pos.Filename, line: pos.Line}][d.Analyzer]
+		findings = append(findings, Finding{Diagnostic: d, Suppressed: suppressed})
+	}
+	for _, d := range bad {
+		findings = append(findings, Finding{Diagnostic: d})
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(findings[i].Pos), pkg.Fset.Position(findings[j].Pos)
 		if pi.Filename != pj.Filename {
 			return pi.Filename < pj.Filename
 		}
@@ -119,7 +200,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if pi.Column != pj.Column {
 			return pi.Column < pj.Column
 		}
-		return diags[i].Message < diags[j].Message
+		return findings[i].Message < findings[j].Message
 	})
-	return diags, nil
+	return findings, nil
 }

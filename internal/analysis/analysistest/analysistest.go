@@ -135,12 +135,29 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		return pkg, nil
 	}
 
+	// Type-check everything first, then build one flow world spanning all
+	// golden packages (and their local deps) so cross-package facts —
+	// lock-order edges, join bits, alias-returning accessors — resolve the
+	// same way cmd/corropt-lint resolves them over the module.
 	for _, path := range pkgPaths {
-		pkg, err := typeCheck(path)
-		if err != nil {
+		if _, err := typeCheck(path); err != nil {
 			t.Fatal(err)
 		}
-		diags, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+	}
+	var all []*analysis.Package
+	var allPaths []string
+	for path := range loaded {
+		allPaths = append(allPaths, path)
+	}
+	sort.Strings(allPaths)
+	for _, path := range allPaths {
+		all = append(all, loaded[path])
+	}
+	world := analysis.BuildWorld(all)
+
+	for _, path := range pkgPaths {
+		pkg := loaded[path]
+		diags, err := analysis.RunW(pkg, []*analysis.Analyzer{a}, world)
 		if err != nil {
 			t.Fatal(err)
 		}

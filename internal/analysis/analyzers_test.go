@@ -49,3 +49,50 @@ func TestMutexHeld(t *testing.T) {
 	}})
 	analysistest.Run(t, "testdata", a, "guarded", "guardedx")
 }
+
+// TestLockOrder pins the lockorder analyzer: opposite-order acquisition
+// cycles (reported once at the earliest witness), direct and call-mediated
+// reacquisition, and channel/WaitGroup/IO blocking under a held lock —
+// including `defer Unlock` held-through-body semantics, a multi-line
+// blocking call, and lint:allow handling (valid reason suppresses, missing
+// reason is itself a finding).
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockOrder, "lockord")
+}
+
+// TestGoroLife pins the gorolife analyzer with `// want` expectations on
+// `go func` literal lines: WaitGroup joins, channel send/close joins, stop
+// channels, and contexts are accepted (directly or through callees);
+// fire-and-forget literals, leaky declared functions, and dynamic function
+// values are flagged.
+func TestGoroLife(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GoroLife, "goro")
+}
+
+// TestAliasEscape pins the aliasescape analyzer across a provider/consumer
+// package pair: mutator calls and element writes on values aliasing
+// aliasprov.Owner's internals are flagged, Clone (whole-expression,
+// reassignment, but not one-sided conditional) breaks the chain, copies are
+// chased, and parameters of unknown origin stay silent.
+func TestAliasEscape(t *testing.T) {
+	a := analysis.NewAliasEscape([]analysis.AliasTarget{{
+		Pkg:      "aliasprov",
+		Type:     "Set",
+		Mutators: []string{"Add", "Remove", "Clear"},
+	}})
+	analysistest.Run(t, "testdata", a, "aliasprov", "aliasmut")
+}
+
+// TestStaleCache pins the stalecache analyzer: element writes and LinkSet
+// mutator calls that reach guarded Netw state through local aliases are
+// flagged outside the sanctioned writers, while writers themselves, scalar
+// copies, fresh slices, and read-only aliases stay silent.
+func TestStaleCache(t *testing.T) {
+	a := analysis.NewStaleCache([]analysis.GuardedStruct{{
+		Pkg:     "stale",
+		Type:    "Netw",
+		Fields:  []string{"contrib", "disabled", "sum", "count"},
+		Writers: []string{"New", "Disable"},
+	}})
+	analysistest.Run(t, "testdata", a, "stale")
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"testing"
+
+	"corropt/internal/runner"
+)
+
+// BenchmarkLintRepo measures one full analyzer pass over the already-loaded
+// repository: flow world construction plus all eight analyzers fanned out
+// per package on the runner pool — exactly the work cmd/corropt-lint does
+// after `go list` returns. Package loading is benchmarked separately
+// (BenchmarkLintLoad) because it is dominated by the go list subprocess and
+// type-checking, not by the analyzers.
+func BenchmarkLintRepo(b *testing.B) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		b.Fatalf("Load: %v", err)
+	}
+	analyzers := All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		world := BuildWorld(pkgs)
+		perPkg, err := runner.Map(0, len(pkgs), func(j int) ([]Finding, error) {
+			return RunDetailed(pkgs[j], analyzers, world)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		live := 0
+		for _, findings := range perPkg {
+			for _, f := range findings {
+				if !f.Suppressed {
+					live++
+				}
+			}
+		}
+		if live != 0 {
+			b.Fatalf("lint found %d live findings; benchmark tree must be clean", live)
+		}
+	}
+}
+
+// BenchmarkLintLoad measures package enumeration and type-checking — the
+// `go list -export -deps -json` walk plus source checking of every module
+// package — which is the fixed startup cost of every corropt-lint run.
+func BenchmarkLintLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Load("../..", "./..."); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,348 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A definition is one assignment of a value to a tracked local variable.
+type definition struct {
+	id int
+	v  *types.Var
+	// rhs is the defining expression: the right-hand side of a 1:1
+	// assignment, nil when the value's origin is untracked (parameters,
+	// multi-value assignments, range bindings, writes from nested function
+	// literals).
+	rhs ast.Expr
+	// weak definitions (assignments inside nested function literals, whose
+	// execution time is unknown) add to the reaching set without killing
+	// other definitions.
+	weak bool
+}
+
+// DefUse holds the reaching-definition chains of one function body: for every
+// identifier use of a function-local variable, the set of defining
+// expressions that may reach it.
+type DefUse struct {
+	// reaching maps a use identifier to the rhs expressions of its reaching
+	// definitions; nil entries mark definitions of unknown origin.
+	reaching map[*ast.Ident][]ast.Expr
+}
+
+// Reaching returns the defining expressions that may reach the given use of a
+// function-local variable, plus whether any reaching definition has an
+// unknown origin (parameter, multi-value assignment, closure write). A nil,
+// false return means the identifier is not a tracked local use (field,
+// package-level variable, or not part of this function).
+func (d *DefUse) Reaching(id *ast.Ident) (exprs []ast.Expr, unknown bool) {
+	defs, ok := d.reaching[id]
+	if !ok {
+		return nil, false
+	}
+	for _, e := range defs {
+		if e == nil {
+			unknown = true
+		} else {
+			exprs = append(exprs, e)
+		}
+	}
+	return exprs, unknown
+}
+
+// BuildDefUse computes reaching definitions over cfg for the function with
+// the given type signature (fnType supplies parameters and named results,
+// recv the method receiver; either may be nil). Tracked variables are the
+// function's own locals, parameters, and receiver; package-level variables
+// and struct fields are out of scope by design — aliasing through them is
+// handled by the summary layer.
+func BuildDefUse(cfg *CFG, info *types.Info, fnType *ast.FuncType, recv *ast.FieldList) *DefUse {
+	b := &defUseBuilder{
+		info:    info,
+		varDefs: make(map[*types.Var][]int),
+		reach:   make(map[*ast.Ident][]ast.Expr),
+	}
+
+	// Parameters, receiver, and named results are definitions of unknown
+	// origin at function entry.
+	var entryDefs []int
+	declFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					entryDefs = append(entryDefs, b.newDef(v, nil, false))
+				}
+			}
+		}
+	}
+	declFields(recv)
+	if fnType != nil {
+		declFields(fnType.Params)
+		declFields(fnType.Results)
+	}
+
+	// Collect per-block definitions in order.
+	blockDefs := make([][]blockDef, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		for ni, n := range blk.Nodes {
+			b.collectDefs(blk.Index, ni, n, &blockDefs[blk.Index])
+		}
+	}
+
+	// Gen/kill per block. gen is the surviving definitions emitted by the
+	// block; kill is every other definition of a variable the block strongly
+	// redefines.
+	type flowSets struct {
+		gen  map[int]bool
+		kill map[int]bool
+		in   map[int]bool
+		out  map[int]bool
+	}
+	sets := make([]flowSets, len(cfg.Blocks))
+	for i := range sets {
+		sets[i] = flowSets{
+			gen:  make(map[int]bool),
+			kill: make(map[int]bool),
+			in:   make(map[int]bool),
+			out:  make(map[int]bool),
+		}
+		for _, bd := range blockDefs[i] {
+			d := b.defs[bd.def]
+			if !d.weak {
+				// A strong def kills every other def of the same var,
+				// including earlier gens in this block.
+				for _, other := range b.varDefs[d.v] {
+					if other != d.id {
+						sets[i].kill[other] = true
+						delete(sets[i].gen, other)
+					}
+				}
+			}
+			sets[i].gen[d.id] = true
+			delete(sets[i].kill, d.id)
+		}
+	}
+
+	// Entry block starts with the entry definitions.
+	entryIn := make(map[int]bool)
+	for _, id := range entryDefs {
+		entryIn[id] = true
+	}
+
+	// Iterate to fixpoint: in[b] = ∪ out[preds]; out[b] = gen ∪ (in − kill).
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range cfg.Blocks {
+			s := &sets[blk.Index]
+			in := make(map[int]bool)
+			if blk == cfg.Entry {
+				for id := range entryIn {
+					in[id] = true
+				}
+			}
+			for _, p := range blk.Preds() {
+				for id := range sets[p.Index].out {
+					in[id] = true
+				}
+			}
+			s.in = in
+			out := make(map[int]bool, len(in))
+			for id := range in {
+				if !s.kill[id] {
+					out[id] = true
+				}
+			}
+			for id := range s.gen {
+				out[id] = true
+			}
+			if len(out) != len(s.out) {
+				changed = true
+			} else {
+				for id := range out {
+					if !s.out[id] {
+						changed = true
+						break
+					}
+				}
+			}
+			s.out = out
+		}
+	}
+
+	// Final pass: walk each block's nodes in order, recording the reaching
+	// set at every tracked-variable use, then applying the node's defs.
+	for _, blk := range cfg.Blocks {
+		cur := make(map[int]bool, len(sets[blk.Index].in))
+		for id := range sets[blk.Index].in {
+			cur[id] = true
+		}
+		defIdx := 0
+		for ni, n := range blk.Nodes {
+			// Record uses before applying this node's definitions: in
+			// `v = v.Clone()` the right-hand use of v sees the old defs.
+			b.recordUses(n, cur)
+			for defIdx < len(blockDefs[blk.Index]) && blockDefs[blk.Index][defIdx].node == ni {
+				d := b.defs[blockDefs[blk.Index][defIdx].def]
+				if !d.weak {
+					for _, other := range b.varDefs[d.v] {
+						delete(cur, other)
+					}
+				}
+				cur[d.id] = true
+				defIdx++
+			}
+		}
+	}
+
+	return &DefUse{reaching: b.reach}
+}
+
+type blockDef struct {
+	node int // index into Block.Nodes
+	def  int // definition id
+}
+
+type defUseBuilder struct {
+	info    *types.Info
+	defs    []definition
+	varDefs map[*types.Var][]int
+	reach   map[*ast.Ident][]ast.Expr
+}
+
+func (b *defUseBuilder) newDef(v *types.Var, rhs ast.Expr, weak bool) int {
+	id := len(b.defs)
+	b.defs = append(b.defs, definition{id: id, v: v, rhs: rhs, weak: weak})
+	b.varDefs[v] = append(b.varDefs[v], id)
+	return id
+}
+
+// localVar resolves id to the variable it defines or uses, nil when it is not
+// a plain variable (fields and methods resolve through Selections, not here).
+func (b *defUseBuilder) localVar(id *ast.Ident) *types.Var {
+	if v, ok := b.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := b.info.Uses[id].(*types.Var); ok {
+		// Struct fields also appear as *types.Var; exclude them.
+		if v.IsField() {
+			return nil
+		}
+		return v
+	}
+	return nil
+}
+
+// collectDefs appends the definitions produced by node n (the ni'th node of
+// block bi) to out. Assignments inside nested function literals are collected
+// as weak definitions; the literal body itself is otherwise opaque here (it
+// has its own CFG and DefUse when analyzed).
+func (b *defUseBuilder) collectDefs(bi, ni int, n ast.Node, out *[]blockDef) {
+	add := func(v *types.Var, rhs ast.Expr, weak bool) {
+		*out = append(*out, blockDef{node: ni, def: b.newDef(v, rhs, weak)})
+	}
+	var walk func(n ast.Node, weak bool)
+	walk = func(n ast.Node, weak bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				walk(m.Body, true)
+				return false
+			case *ast.AssignStmt:
+				oneToOne := len(m.Lhs) == len(m.Rhs)
+				for i, lhs := range m.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue // v[i] = x and v.f = x are uses, not defs
+					}
+					v := b.localVar(id)
+					if v == nil {
+						continue
+					}
+					var rhs ast.Expr
+					if oneToOne {
+						rhs = m.Rhs[i]
+					}
+					add(v, rhs, weak)
+				}
+			case *ast.ValueSpec:
+				oneToOne := len(m.Names) == len(m.Values)
+				for i, name := range m.Names {
+					v, ok := b.info.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					var rhs ast.Expr
+					if oneToOne {
+						rhs = m.Values[i]
+					}
+					add(v, rhs, weak)
+				}
+			case *ast.RangeStmt:
+				for _, e := range []ast.Expr{m.Key, m.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if v := b.localVar(id); v != nil {
+							add(v, nil, weak)
+						}
+					}
+				}
+				// The range body lives in its own CFG blocks; only the
+				// operand and bindings belong to this node.
+				return false
+			case *ast.IncDecStmt:
+				if id, ok := m.X.(*ast.Ident); ok {
+					if v := b.localVar(id); v != nil {
+						add(v, nil, weak)
+					}
+				}
+			case *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt,
+				*ast.TypeSwitchStmt, *ast.SelectStmt:
+				// Nested control flow has its own CFG blocks; this node only
+				// covers the init/cond parts that the CFG placed here.
+				return false
+			}
+			return true
+		})
+	}
+	walk(n, false)
+}
+
+// recordUses snapshots the current reaching set at every tracked-variable use
+// inside node n.
+func (b *defUseBuilder) recordUses(n ast.Node, cur map[int]bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt:
+			return false // nested control flow has its own blocks
+		case *ast.RangeStmt:
+			// Only the operand belongs to this node.
+			b.recordUses(m.X, cur)
+			return false
+		case *ast.Ident:
+			v := b.localVar(m)
+			if v == nil {
+				return true
+			}
+			if _, seen := b.reach[m]; seen {
+				return true
+			}
+			var exprs []ast.Expr
+			for id := range cur {
+				d := b.defs[id]
+				if d.v == v {
+					exprs = append(exprs, d.rhs)
+				}
+			}
+			if exprs == nil {
+				// Tracked variable with no reaching defs (e.g. use before
+				// any assignment on some path): mark unknown.
+				exprs = []ast.Expr{nil}
+			}
+			b.reach[m] = exprs
+		}
+		return true
+	})
+}

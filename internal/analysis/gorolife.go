@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"corropt/internal/analysis/flow"
+)
+
+// GoroLife enforces the repository's goroutine-lifecycle discipline: every
+// `go` statement must spawn work whose completion is observable (joined via
+// sync.WaitGroup.Done, a channel close, or a channel send) or that can be
+// asked to stop (receives from a stop channel — directly, via range, or via
+// select — or watches context.Context.Done). Fire-and-forget goroutines leak
+// across experiment repetitions and make shutdown nondeterministic, which
+// violates the determinism contract of DESIGN.md §7.
+//
+// Facts come from internal/analysis/flow: a spawned function literal
+// contributes its own join bits plus those of its static callees; a spawned
+// declared function contributes its transitive bits over the module call
+// graph. Spawns of dynamic function values (or functions outside the module)
+// cannot be verified and are flagged — wrap them in a literal that
+// participates in a WaitGroup or stop channel.
+var GoroLife = &Analyzer{
+	Name: "gorolife",
+	Doc: "requires every spawned goroutine to be joined (WaitGroup, channel " +
+		"close/send) or cancellable (stop channel, context) (DESIGN.md §8)",
+	Run: runGoroLife,
+}
+
+func runGoroLife(pass *Pass) error {
+	w := pass.world()
+	for _, fs := range w.PackageFacts(pass.Path) {
+		for _, sp := range fs.GoSpawns {
+			var bits flow.JoinBits
+			known := false
+			switch {
+			case sp.Lit != nil:
+				bits, known = w.LitJoinFacts(sp.Lit), true
+			case sp.Callee != nil:
+				bits, known = w.JoinFacts(sp.Callee)
+			}
+			if !known {
+				pass.Reportf(sp.Pos,
+					"goroutine lifecycle cannot be verified: spawn target is not a statically-known module function; wrap it in a literal that signals completion or watches a stop channel")
+				continue
+			}
+			if !bits.Joined() && !bits.Cancellable() {
+				pass.Reportf(sp.Pos,
+					"goroutine is neither joined (WaitGroup.Done, channel close/send) nor cancellable (stop channel, context.Done): it can outlive its spawner")
+			}
+		}
+	}
+	return nil
+}

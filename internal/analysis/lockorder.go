@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"strings"
+
+	"corropt/internal/analysis/flow"
+)
+
+// LockOrder detects three deadlock shapes over the module-wide lock-order
+// graph built by internal/analysis/flow:
+//
+//  1. Acquisition-order cycles: lock A held while B is acquired in one place
+//     and B held while A is acquired in another (directly or through calls).
+//     Each cycle is reported once, at its earliest witness edge.
+//  2. Reacquisition: taking a sync.Mutex that may already be held on some
+//     path through the function (sync mutexes are not reentrant).
+//  3. Blocking under a lock: a channel send/receive, sync.WaitGroup.Wait, or
+//     a known blocking I/O call (see flow's blocking table) executed while a
+//     mutex is held — the classic shape of snmplite/ctlplane shutdown hangs.
+//
+// Held-lock state is a may-analysis (union over CFG predecessors), and
+// `defer mu.Unlock()` keeps the lock held through the rest of the body.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "detects mutex acquisition-order cycles, reacquisition of held " +
+		"mutexes, and blocking operations performed under a lock " +
+		"(DESIGN.md §8)",
+	Run: runLockOrder,
+}
+
+func joinLockKeys(keys []flow.LockKey) string {
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = string(k)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func runLockOrder(pass *Pass) error {
+	w := pass.world()
+
+	// Cycles and reacquires are global facts; each is attributed to exactly
+	// one package (its witness site) so module-wide runs report it once.
+	for _, cyc := range w.Cycles() {
+		if cyc.Pkg != pass.Path {
+			continue
+		}
+		var wits []string
+		for _, e := range cyc.Edges {
+			wit := string(e.From) + " -> " + string(e.To) + " in " + e.Fn
+			if e.Via != "" {
+				wit += " (via " + e.Via + ")"
+			}
+			wits = append(wits, wit)
+		}
+		pass.Reportf(cyc.Pos,
+			"lock-order cycle between %s: acquisition order is inconsistent (%s); pick one order and use it everywhere",
+			joinLockKeys(cyc.Keys), strings.Join(wits, "; "))
+	}
+	for _, r := range w.Reacquires() {
+		if r.Pkg != pass.Path {
+			continue
+		}
+		if r.Via != "" {
+			pass.Reportf(r.Pos,
+				"%s may already be held here and the call to %s acquires it again: sync mutexes are not reentrant",
+				r.Key, r.Via)
+		} else {
+			pass.Reportf(r.Pos,
+				"%s may already be held at this acquisition: sync mutexes are not reentrant",
+				r.Key)
+		}
+	}
+
+	// Blocking under a held lock: direct channel/WaitGroup/I-O operations
+	// are recorded per function; calls into module functions that
+	// transitively perform blocking I/O are flagged through the call edge.
+	for _, fs := range w.PackageFacts(pass.Path) {
+		for _, hb := range fs.HeldBlocks {
+			pass.Reportf(hb.Pos,
+				"%s while holding %s: blocked goroutines wedge every other user of the lock; release it first",
+				hb.What, joinLockKeys(hb.Held))
+		}
+		for _, hc := range fs.HeldCalls {
+			if w.FuncFactsOf(hc.Callee) == nil || !w.MayBlock(hc.Callee) {
+				continue
+			}
+			callee := w.FuncFactsOf(hc.Callee)
+			pass.Reportf(hc.Pos,
+				"call to %s (may block on I/O) while holding %s: release the lock before blocking",
+				callee.Name, joinLockKeys(hc.Held))
+		}
+	}
+	return nil
+}

@@ -1,10 +1,14 @@
 package analysis
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"corropt/internal/runner"
 )
 
 // loadRepo loads module packages matching patterns from the repository root.
@@ -41,8 +45,12 @@ func TestRepoIsLintClean(t *testing.T) {
 		}
 	}
 
+	// Module-wide flow world, exactly as cmd/corropt-lint builds it: the
+	// flow analyzers must see cross-package lock edges and join facts, not
+	// per-package approximations.
+	world := BuildWorld(pkgs)
 	for _, pkg := range pkgs {
-		diags, err := Run(pkg, All())
+		diags, err := RunW(pkg, All(), world)
 		if err != nil {
 			t.Fatalf("Run(%s): %v", pkg.Path, err)
 		}
@@ -185,5 +193,149 @@ func Draw() int { return rand.Intn(10) }
 		if !strings.Contains(msgs[i], want) && !strings.Contains(msgs[1-i], want) {
 			t.Errorf("no finding matching %q in %v", want, msgs)
 		}
+	}
+}
+
+// TestSeededFlowViolationsAreCaught is the flow-suite negative control: a
+// deliberate goroutine leak, a deliberate lock-order inversion, and a
+// deliberate un-cloned LinkSet-style alias mutation are planted in a
+// throwaway module and must each produce a finding through the exact
+// Load + BuildWorld + RunW pipeline the lint driver uses.
+func TestSeededFlowViolationsAreCaught(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module demo\n\ngo 1.22\n")
+	write("leak/leak.go", `package leak
+
+// Spawn deliberately leaks a goroutine: nothing joins it, nothing stops it.
+func Spawn() {
+	go func() {
+		for {
+		}
+	}()
+}
+`)
+	write("inversion/inversion.go", `package inversion
+
+import "sync"
+
+type state struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+var s state
+
+// AB and BA deliberately acquire the two mutexes in opposite orders.
+func AB() {
+	s.a.Lock()
+	s.b.Lock()
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+func BA() {
+	s.b.Lock()
+	s.a.Lock()
+	s.a.Unlock()
+	s.b.Unlock()
+}
+`)
+	write("ds/ds.go", `package ds
+
+type Set struct{ bits []uint64 }
+
+func (s *Set) Add(i int)  { s.bits[i>>6] |= 1 << (uint(i) & 63) }
+func (s *Set) Clone() *Set {
+	return &Set{bits: append([]uint64(nil), s.bits...)}
+}
+
+type Owner struct{ set *Set }
+
+func NewOwner() *Owner { return &Owner{set: &Set{bits: make([]uint64, 4)}} }
+
+// View returns the live set.
+func (o *Owner) View() *Set { return o.set }
+
+// Mutate deliberately mutates the un-cloned alias.
+func Mutate(o *Owner) {
+	v := o.View()
+	v.Add(1)
+}
+`)
+
+	aliasDemo := NewAliasEscape([]AliasTarget{{
+		Pkg: "demo/ds", Type: "Set", Mutators: []string{"Add"},
+	}})
+	suite := []*Analyzer{GoroLife, LockOrder, aliasDemo}
+
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load(demo): %v", err)
+	}
+	world := BuildWorld(pkgs)
+	byAnalyzer := make(map[string][]string)
+	for _, pkg := range pkgs {
+		diags, err := RunW(pkg, suite, world)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], pkg.Path+": "+d.Message)
+		}
+	}
+	check := func(analyzer, substr string) {
+		t.Helper()
+		for _, msg := range byAnalyzer[analyzer] {
+			if strings.Contains(msg, substr) {
+				return
+			}
+		}
+		t.Errorf("seeded %s violation not caught: no finding containing %q in %v", analyzer, substr, byAnalyzer[analyzer])
+	}
+	check("gorolife", "neither joined")
+	check("lockorder", "lock-order cycle")
+	check("aliasescape", "aliases internal state returned by Owner.View")
+}
+
+// TestLintParallelMatchesSerial pins the driver's determinism contract: the
+// merged findings (including suppressed ones) produced by the runner.Map
+// fan-out that cmd/corropt-lint uses are byte-identical for 1 worker and 8.
+func TestLintParallelMatchesSerial(t *testing.T) {
+	pkgs := loadRepo(t, "./...")
+	world := BuildWorld(pkgs)
+	collect := func(workers int) []string {
+		t.Helper()
+		perPkg, err := runner.Map(workers, len(pkgs), func(i int) ([]Finding, error) {
+			return RunDetailed(pkgs[i], All(), world)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var out []string
+		for i, findings := range perPkg {
+			for _, f := range findings {
+				out = append(out, fmt.Sprintf("%s: %s: %s suppressed=%v",
+					pkgs[i].Fset.Position(f.Pos), f.Analyzer, f.Message, f.Suppressed))
+			}
+		}
+		return out
+	}
+	serial := collect(1)
+	if len(serial) == 0 {
+		t.Fatal("expected at least the suppressed rngutil findings; got none — suppression state is not being reported")
+	}
+	parallel := collect(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel lint output differs from serial:\nserial:   %v\nparallel: %v", serial, parallel)
 	}
 }

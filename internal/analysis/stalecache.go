@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"corropt/internal/analysis/flow"
+)
+
+// NewStaleCache returns the stalecache analyzer for the given guarded
+// structs (the same configuration type mutexheld uses).
+//
+// stalecache closes mutexheld's aliasing hole with dataflow: mutexheld
+// catches `n.contrib[l] = x` written outside the sanctioned mutation
+// methods, but not `d := n.contrib; d[l] = x` — the write lands in the same
+// backing array and desynchronizes the incremental caches (penaltySum stops
+// matching contrib, the LoadState-class staleness bug). Using the flow
+// def-use engine, stalecache finds locals whose reaching definitions alias a
+// guarded reference-typed field (slice, map, or pointer — value copies are
+// harmless) and flags element writes, pointer-target writes, and LinkSet
+// mutator calls through them anywhere outside the sanctioned writers.
+// Aliases of unknown origin (parameters, multi-value assignments) are not
+// flagged; only proven field aliases are.
+func NewStaleCache(config []GuardedStruct) *Analyzer {
+	a := &Analyzer{
+		Name: "stalecache",
+		Doc: "flags writes that reach guarded struct state through local " +
+			"aliases outside the sanctioned mutation methods (DESIGN.md §8)",
+	}
+	a.Run = func(pass *Pass) error {
+		for i := range config {
+			runStaleCache(pass, &config[i])
+		}
+		return nil
+	}
+	return a
+}
+
+// StaleCache is the canonical stalecache analyzer over the same guarded
+// structs as mutexheld (MutexHeldConfig).
+var StaleCache = NewStaleCache(MutexHeldConfig)
+
+func runStaleCache(pass *Pass, g *GuardedStruct) {
+	fields := make(map[string]bool, len(g.Fields))
+	for _, f := range g.Fields {
+		fields[f] = true
+	}
+	writers := make(map[string]bool, len(g.Writers))
+	for _, w := range g.Writers {
+		writers[w] = true
+	}
+	setMutators := make(map[string]bool, len(linkSetMutators))
+	for _, m := range linkSetMutators {
+		setMutators[m] = true
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if writers[fd.Name.Name] && writerBelongsTo(pass, fd, g) {
+				continue
+			}
+			cfg := flow.NewCFG(fd.Body)
+			du := flow.BuildDefUse(cfg, pass.TypesInfo, fd.Type, fd.Recv)
+			checkStaleWrites(pass, g, fields, setMutators, du, fd)
+		}
+	}
+}
+
+// guardedAliasField chases id's reaching definitions (through local copies)
+// for a selector of a guarded reference-typed field; it returns the field
+// name, or "" when no reaching definition provably aliases guarded state.
+func guardedAliasField(pass *Pass, g *GuardedStruct, fields map[string]bool, du *flow.DefUse, id *ast.Ident) string {
+	seen := make(map[*ast.Ident]bool)
+	var chase func(id *ast.Ident) string
+	chase = func(id *ast.Ident) string {
+		if seen[id] {
+			return ""
+		}
+		seen[id] = true
+		exprs, _ := du.Reaching(id)
+		for _, e := range exprs {
+			e = ast.Unparen(e)
+			if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				e = ast.Unparen(u.X)
+			}
+			switch e := e.(type) {
+			case *ast.SelectorExpr:
+				if name := guardedRefField(pass, g, fields, e); name != "" {
+					return name
+				}
+			case *ast.Ident:
+				if name := chase(e); name != "" {
+					return name
+				}
+			}
+		}
+		return ""
+	}
+	return chase(id)
+}
+
+// guardedRefField reports whether sel selects a guarded field of reference
+// type (slice, map, or pointer — the types whose local copies still alias
+// the struct's backing storage) on the guarded struct.
+func guardedRefField(pass *Pass, g *GuardedStruct, fields map[string]bool, sel *ast.SelectorExpr) string {
+	selObj := pass.TypesInfo.Selections[sel]
+	if selObj == nil || selObj.Kind() != types.FieldVal {
+		return ""
+	}
+	field, ok := selObj.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil || field.Pkg().Path() != g.Pkg || !fields[field.Name()] {
+		return ""
+	}
+	named, ok := deref(selObj.Recv()).(*types.Named)
+	if !ok || named.Obj().Name() != g.Type {
+		return ""
+	}
+	switch field.Type().Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer:
+		return field.Name()
+	}
+	return ""
+}
+
+func checkStaleWrites(pass *Pass, g *GuardedStruct, fields, setMutators map[string]bool, du *flow.DefUse, fd *ast.FuncDecl) {
+	report := func(n ast.Node, id *ast.Ident, field, what string) {
+		pass.Reportf(n.Pos(),
+			"%s through %q reaches guarded field %s.%s outside its sanctioned mutation methods (%s): the incremental caches go stale",
+			what, id.Name, g.Type, field, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				lhs = ast.Unparen(lhs)
+				switch l := lhs.(type) {
+				case *ast.IndexExpr:
+					if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+						if field := guardedAliasField(pass, g, fields, du, id); field != "" {
+							report(l, id, field, "element write")
+						}
+					}
+				case *ast.StarExpr:
+					if id, ok := ast.Unparen(l.X).(*ast.Ident); ok {
+						if field := guardedAliasField(pass, g, fields, du, id); field != "" {
+							report(l, id, field, "pointer-target write")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || !setMutators[sel.Sel.Name] {
+				return true
+			}
+			id, ok := ast.Unparen(sel.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			named, ok := deref(pass.TypesInfo.TypeOf(sel.X)).(*types.Named)
+			if !ok || named.Obj().Name() != "LinkSet" {
+				return true
+			}
+			if field := guardedAliasField(pass, g, fields, du, id); field != "" {
+				report(n, id, field, sel.Sel.Name+"()")
+			}
+		}
+		return true
+	})
+}

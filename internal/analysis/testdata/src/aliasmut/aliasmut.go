@@ -1,0 +1,73 @@
+// Package aliasmut is the consumer half of the aliasescape golden:
+// mutations of values that alias aliasprov.Owner's internal state are
+// flagged unless a Clone (or fresh copy) breaks the chain first.
+package aliasmut
+
+import "aliasprov"
+
+// mutateAlias mutates the live set straight out of the accessor.
+func mutateAlias(o *aliasprov.Owner) {
+	v := o.View()
+	v.Add(1) // want "Add\\(\\) mutates \"v\", which aliases internal state returned by Owner.View"
+}
+
+// cloneFirst is the sanctioned shape: Clone returns a fresh set.
+func cloneFirst(o *aliasprov.Owner) {
+	v := o.View().Clone()
+	v.Add(1)
+	v.Clear()
+}
+
+// cloneReassign breaks the chain with an explicit reassignment.
+func cloneReassign(o *aliasprov.Owner) {
+	v := o.View()
+	v = v.Clone()
+	v.Remove(2)
+}
+
+// condClone clones on only one path: the un-cloned definition still reaches
+// the mutation, so it is flagged.
+func condClone(o *aliasprov.Owner, c bool) {
+	v := o.View()
+	if c {
+		v = v.Clone()
+	}
+	v.Add(3) // want "Add\\(\\) mutates \"v\", which aliases internal state returned by Owner.View"
+}
+
+// copyChain launders the alias through a second local; the def-use chase
+// follows the copy.
+func copyChain(o *aliasprov.Owner) {
+	v := o.View()
+	w := v
+	w.Remove(4) // want "Remove\\(\\) mutates \"w\", which aliases internal state returned by Owner.View"
+}
+
+// sliceWrite writes through the live cache slice.
+func sliceWrite(o *aliasprov.Owner) {
+	c := o.Cache()
+	c[0] = 1 // want "element write mutates \"c\", which aliases internal state returned by Owner.Cache"
+}
+
+// freshWrite writes through an independent copy: fine.
+func freshWrite(o *aliasprov.Owner) {
+	c := o.Fresh()
+	c[0] = 1
+}
+
+// readOnly never mutates the alias: fine.
+func readOnly(o *aliasprov.Owner) bool {
+	return o.View().Has(5)
+}
+
+// paramUnknown mutates a parameter: origin unknown, not flagged (the
+// analysis reports only proven aliases).
+func paramUnknown(v *aliasprov.Set) {
+	v.Add(6)
+}
+
+// allowedAlias documents a sanctioned in-place mutation of the live set.
+func allowedAlias(o *aliasprov.Owner) {
+	v := o.View()
+	v.Add(7) //lint:allow aliasescape owner delegates mutation here by contract
+}

@@ -1,0 +1,58 @@
+// Package aliasprov is the provider half of the aliasescape golden: a
+// LinkSet-shaped bitset plus an owner whose accessors return live internal
+// state (View, Cache) or defensive copies (Fresh, Clone).
+package aliasprov
+
+// Set is an in-place-mutable bitset.
+type Set struct{ bits []uint64 }
+
+// NewSet returns an empty set sized for n elements.
+func NewSet(n int) *Set {
+	return &Set{bits: make([]uint64, (n+63)/64)}
+}
+
+// Add inserts i.
+func (s *Set) Add(i int) { s.bits[i>>6] |= 1 << (uint(i) & 63) }
+
+// Remove deletes i.
+func (s *Set) Remove(i int) { s.bits[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Clear empties the set.
+func (s *Set) Clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}
+
+// Has reports membership.
+func (s *Set) Has(i int) bool { return s.bits[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Clone returns an independent copy: mutations on the clone never reach the
+// original.
+func (s *Set) Clone() *Set {
+	return &Set{bits: append([]uint64(nil), s.bits...)}
+}
+
+// Owner holds a live set and a cache slice.
+type Owner struct {
+	set   *Set
+	cache []float64
+}
+
+// NewOwner builds an owner for n elements.
+func NewOwner(n int) *Owner {
+	return &Owner{set: NewSet(n), cache: make([]float64, n)}
+}
+
+// View returns the live set; callers must not mutate it.
+func (o *Owner) View() *Set { return o.set }
+
+// Cache returns the live cache slice; callers must not write through it.
+func (o *Owner) Cache() []float64 { return o.cache }
+
+// Fresh returns an independent copy of the cache.
+func (o *Owner) Fresh() []float64 {
+	out := make([]float64, len(o.cache))
+	copy(out, o.cache)
+	return out
+}

@@ -1,0 +1,112 @@
+// Package goro is the gorolife golden: spawned goroutines must be joined
+// (WaitGroup.Done, channel close/send) or cancellable (stop channel,
+// context.Done). Expectations sit directly on `go func` literal lines.
+package goro
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	out  chan int
+}
+
+// runJoined is the WaitGroup pool shape (runner.Map's workers).
+func (w *worker) runJoined() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+// runSignals reports completion by sending a result (the optimizer's
+// done-channel workers).
+func (w *worker) runSignals() {
+	go func() {
+		w.out <- 42
+	}()
+}
+
+// runCloser announces completion by closing a channel.
+func (w *worker) runCloser() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// runCancellable can be asked to stop through the stop channel.
+func (w *worker) runCancellable() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// runCtx watches its context.
+func (w *worker) runCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// leak is a fire-and-forget literal: nothing joins it, nothing stops it.
+func (w *worker) leak() {
+	go func() { // want "neither joined .* nor cancellable"
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+func spin() {
+	for {
+	}
+}
+
+// spawnLeakFn leaks through a declared function.
+func (w *worker) spawnLeakFn() {
+	go spin() // want "neither joined .* nor cancellable"
+}
+
+func signalDone(w *worker) {
+	w.wg.Done()
+}
+
+// spawnJoinedViaCallee joins transitively: the literal's callee calls
+// wg.Done, which the module-wide summary closure propagates to the spawn.
+func (w *worker) spawnJoinedViaCallee() {
+	w.wg.Add(1)
+	go func() {
+		defer signalDone(w)
+		work()
+	}()
+}
+
+func work() {}
+
+// dynamic spawns a function value: the lifecycle cannot be verified
+// statically, which is itself a finding.
+func (w *worker) dynamic(fn func()) {
+	go fn() // want "cannot be verified"
+}
+
+// allowedLeak documents a sanctioned fire-and-forget goroutine.
+func (w *worker) allowedLeak() {
+	go func() { //lint:allow gorolife process-lifetime logger, exits with the binary
+		for {
+		}
+	}()
+}

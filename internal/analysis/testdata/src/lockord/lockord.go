@@ -1,0 +1,109 @@
+// Package lockord is the lockorder golden: acquisition-order cycles,
+// reacquisition of held mutexes (directly and through calls), and blocking
+// operations under a held lock, plus lint:allow negative cases.
+package lockord
+
+import (
+	"net"
+	"sync"
+)
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+var p pair
+
+// lockAB and lockBA acquire the two mutexes in opposite orders: a classic
+// deadlock cycle. The cycle is reported once, at its earliest witness edge.
+func lockAB() {
+	p.a.Lock()
+	p.b.Lock() // want "lock-order cycle between lockord.pair.a, lockord.pair.b"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func lockBA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// reacquire takes a mutex it already holds: sync.Mutex is not reentrant.
+func reacquire() {
+	p.a.Lock()
+	p.a.Lock() // want "may already be held at this acquisition"
+	p.a.Unlock()
+	p.a.Unlock()
+}
+
+func helperLocksA() {
+	p.a.Lock()
+	p.a.Unlock()
+}
+
+// reacquireViaCall reaches the second acquisition through a call edge.
+func reacquireViaCall() {
+	p.a.Lock()
+	helperLocksA() // want "call to helperLocksA acquires it again"
+	p.a.Unlock()
+}
+
+// blockUnderLock performs channel operations and blocking I/O while the
+// deferred Unlock keeps the mutex held through the whole body.
+func blockUnderLock(ch chan int, conn net.Conn) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	<-ch    // want "channel receive while holding lockord.pair.a"
+	ch <- 1 // want "channel send while holding lockord.pair.a"
+	buf := make([]byte, 8)
+	_, _ = conn.Read( // want "network read .* while holding lockord.pair.a"
+		buf,
+	)
+}
+
+func waitUnderLock(wg *sync.WaitGroup) {
+	p.b.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding lockord.pair.b"
+	p.b.Unlock()
+}
+
+func dial() {
+	c, err := net.Dial("tcp", "127.0.0.1:1")
+	if err == nil {
+		c.Close()
+	}
+}
+
+// callDialUnderLock blocks transitively: dial performs OS-level I/O.
+func callDialUnderLock() {
+	p.b.Lock()
+	dial() // want "call to dial .* while holding lockord.pair.b"
+	p.b.Unlock()
+}
+
+// releaseFirst is the clean shape: the lock is dropped before blocking.
+func releaseFirst(ch chan int) {
+	p.a.Lock()
+	p.a.Unlock()
+	<-ch
+}
+
+// allowed documents a sanctioned exception: the annotation carries a reason,
+// so the finding is suppressed.
+func allowed(ch chan int) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	<-ch //lint:allow lockorder shutdown path, writer is guaranteed gone
+}
+
+// allowedBad has a lint:allow with no reason: the suppression is rejected
+// and the malformed annotation is itself a finding, so the line carries both
+// expectations (block comment, since only one line comment fits).
+func allowedBad(ch chan int) {
+	p.b.Lock()
+	defer p.b.Unlock()
+	<-ch /* want "channel receive while holding lockord.pair.b" "missing a reason" */ //lint:allow lockorder
+}

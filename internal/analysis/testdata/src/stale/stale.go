@@ -1,0 +1,92 @@
+// Package stale is the stalecache golden: writes that reach guarded Netw
+// state through local aliases are flagged outside the sanctioned writers —
+// the dataflow hole that plain mutexheld (which only sees syntactic
+// n.field writes) cannot close.
+package stale
+
+// LinkSet mirrors the repository's bitset shape.
+type LinkSet struct{ bits []uint64 }
+
+// Add inserts l.
+func (s *LinkSet) Add(l int) { s.bits[l>>6] |= 1 << (uint(l) & 63) }
+
+// Clear empties the set.
+func (s *LinkSet) Clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}
+
+// Netw models core.Network: incremental caches that must only change
+// together, inside the sanctioned writers.
+type Netw struct {
+	contrib  []float64
+	disabled *LinkSet
+	sum      float64
+	count    int
+}
+
+// New is a sanctioned writer.
+func New(n int) *Netw {
+	return &Netw{contrib: make([]float64, n), disabled: &LinkSet{bits: make([]uint64, (n+63)/64)}}
+}
+
+// Disable is a sanctioned writer: aliasing the caches inside it is fine.
+func (n *Netw) Disable(l int) {
+	c := n.contrib
+	n.sum -= c[l]
+	c[l] = 0
+	n.disabled.Add(l)
+	n.count++
+}
+
+// Sum is a read-only accessor.
+func (n *Netw) Sum() float64 { return n.sum }
+
+// badElem desynchronizes contrib from sum through a local alias.
+func badElem(n *Netw) {
+	c := n.contrib
+	c[0] = 1 // want "element write through \"c\" reaches guarded field Netw.contrib"
+}
+
+// badSet mutates the guarded disabled set through an alias.
+func badSet(n *Netw) {
+	d := n.disabled
+	d.Add(1) // want "Add\\(\\) through \"d\" reaches guarded field Netw.disabled"
+}
+
+// badChain launders the alias through a second local.
+func badChain(n *Netw) {
+	c := n.contrib
+	d := c
+	d[2] = 3 // want "element write through \"d\" reaches guarded field Netw.contrib"
+}
+
+// valueCopies copy scalars: no aliasing, no finding.
+func valueCopies(n *Netw) float64 {
+	s := n.sum
+	s++
+	k := n.count
+	k++
+	return s + float64(k)
+}
+
+// freshSlice writes into an independent slice: fine.
+func freshSlice(n *Netw) []float64 {
+	out := make([]float64, len(n.contrib))
+	copy(out, n.contrib)
+	out[0] = 9
+	return out
+}
+
+// reads may alias without writing: fine.
+func reads(n *Netw) float64 {
+	c := n.contrib
+	return c[0]
+}
+
+// allowedAlias documents a sanctioned out-of-band write.
+func allowedAlias(n *Netw) {
+	c := n.contrib
+	c[1] = 0 //lint:allow stalecache test fixture resets contrib before reload
+}

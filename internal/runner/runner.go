@@ -39,6 +39,28 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("runner: scenario %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
 }
 
+// Unwrap exposes an error panic value (panic(err)) to errors.Is / errors.As
+// chains; it returns nil for non-error panic values.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// captureStack snapshots the calling goroutine's stack, growing the buffer
+// until the trace fits (a fixed buffer silently truncates the deep recursive
+// stacks that are exactly the ones worth keeping when a scenario dies).
+func captureStack() []byte {
+	for size := 64 << 10; ; size *= 2 {
+		buf := make([]byte, size)
+		n := runtime.Stack(buf, false)
+		if n < size || size >= 8<<20 {
+			return buf[:n]
+		}
+	}
+}
+
 // Workers normalizes a worker-count knob: values <= 0 mean "one worker per
 // CPU" (the -workers flag and experiments.Config.Workers default).
 func Workers(n int) int {
@@ -61,11 +83,12 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	results := make([]T, n)
 	errs := make([]error, n)
 	call := func(i int) {
+		// The recover runs on the worker goroutine: a panicking scenario
+		// must record its error and let the worker move on to the next
+		// index, never tear down the pool (wg.Done sits above this frame).
 		defer func() {
 			if v := recover(); v != nil {
-				stack := make([]byte, 64<<10)
-				stack = stack[:runtime.Stack(stack, false)]
-				errs[i] = &PanicError{Index: i, Value: v, Stack: stack}
+				errs[i] = &PanicError{Index: i, Value: v, Stack: captureStack()}
 			}
 		}()
 		results[i], errs[i] = fn(i)

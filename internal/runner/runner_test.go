@@ -142,3 +142,79 @@ func TestWorkers(t *testing.T) {
 		t.Fatal("Workers(5) != 5")
 	}
 }
+
+// TestPanicErrorUnwrap pins that panic(err) values stay reachable through
+// errors.Is / errors.As across the pool boundary.
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	_, err := Map(2, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic(sentinel)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("errors.Is through PanicError failed: %v", err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Unwrap() != sentinel {
+		t.Fatalf("Unwrap() = %v, want sentinel", err)
+	}
+	if (&PanicError{Value: "not an error"}).Unwrap() != nil {
+		t.Fatal("Unwrap of a non-error panic value must be nil")
+	}
+}
+
+// TestMapDeepPanicStack pins that the captured stack is not truncated for
+// deep recursive panics: the trace must still reach back to the runner's
+// call frame, which a fixed 64KB buffer loses.
+func TestMapDeepPanicStack(t *testing.T) {
+	var deep func(n int)
+	deep = func(n int) {
+		if n == 0 {
+			panic("bottom")
+		}
+		deep(n - 1)
+	}
+	_, err := Map(1, 1, func(i int) (int, error) {
+		deep(3000)
+		return 0, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if len(pe.Stack) <= 64<<10 {
+		t.Skipf("stack only %d bytes; recursion did not exceed the old fixed buffer", len(pe.Stack))
+	}
+	if !strings.Contains(string(pe.Stack), "TestMapDeepPanicStack") {
+		t.Fatalf("deep stack truncated: %d bytes captured but the test frame is missing", len(pe.Stack))
+	}
+}
+
+// TestMapAllPanicsNoDeadlock floods every worker with panicking scenarios:
+// the pool must drain completely (no wedged wg.Wait), return the
+// lowest-indexed panic, and still deliver the healthy results. Run with
+// -race, this also shakes out unsynchronized error/result writes on the
+// panic path.
+func TestMapAllPanicsNoDeadlock(t *testing.T) {
+	const n = 128
+	results, err := Map(8, n, func(i int) (int, error) {
+		if i%2 == 1 {
+			panic(i)
+		}
+		return i * 10, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Index != 1 {
+		t.Fatalf("panic index = %d, want the lowest-indexed panic (1)", pe.Index)
+	}
+	for i := 0; i < n; i += 2 {
+		if results[i] != i*10 {
+			t.Fatalf("healthy scenario %d lost its result: %d", i, results[i])
+		}
+	}
+}

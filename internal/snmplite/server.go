@@ -50,14 +50,20 @@ func NewServer(addr string, provider Provider) (*Server, error) {
 // Addr reports the server's bound address.
 func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
 
-// Close shuts the server down.
+// Close shuts the server down and waits for the serve goroutine to exit.
+// The mutex only guards the closed flag: waiting on done while holding it
+// would wedge any concurrent Close caller (and anything else that ever
+// takes s.mu) behind the serve goroutine's shutdown, so the lock is
+// released before the blocking receive. A second Close returns immediately
+// without waiting, which matches net.Conn semantics.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return nil
 	}
 	s.closed = true
+	s.mu.Unlock()
 	err := s.conn.Close()
 	<-s.done
 	return err

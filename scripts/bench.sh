@@ -6,10 +6,13 @@
 #   scripts/bench.sh              # core suite (default)
 #   scripts/bench.sh core         # fast checker / optimizer / path counting
 #   scripts/bench.sh experiments  # experiment drivers, serial vs parallel
+#   scripts/bench.sh lint         # corropt-lint wall-time (load + analyze)
 #
 # The core suite writes BENCH_core.{txt,json}; the experiments suite runs
 # BenchmarkExperimentsSuite (each multi-scenario driver at ScaleSmall with
-# Workers=1 and Workers=NumCPU) and writes BENCH_experiments.{txt,json}.
+# Workers=1 and Workers=NumCPU) and writes BENCH_experiments.{txt,json}; the
+# lint suite runs BenchmarkLintRepo / BenchmarkLintLoad in internal/analysis
+# and writes BENCH_lint.{txt,json}.
 #
 # One JSON object per benchmark line, keyed by the reported units, e.g.
 #   {"name":"BenchmarkFastChecker-8","iterations":3504,
@@ -36,6 +39,8 @@ done
 set -- $ARGS
 
 SUITE=${1:-core}
+# PKG: the package directory whose benchmarks the suite runs.
+PKG=.
 case "$SUITE" in
 core)
 	TXT=BENCH_core.txt
@@ -51,8 +56,15 @@ experiments)
 	# sub-benchmark keeps the suite in minutes.
 	COUNT=1
 	;;
+lint)
+	TXT=BENCH_lint.txt
+	JSON=BENCH_lint.json
+	PATTERN='LintRepo|LintLoad'
+	COUNT=3
+	PKG=./internal/analysis
+	;;
 *)
-	echo "bench.sh: unknown suite '$SUITE' (want core or experiments)" >&2
+	echo "bench.sh: unknown suite '$SUITE' (want core, experiments, or lint)" >&2
 	exit 2
 	;;
 esac
@@ -66,7 +78,7 @@ if [ "$FORCE" != 1 ]; then
 	fi
 fi
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" . | tee "$TXT"
+go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" "$PKG" | tee "$TXT"
 
 awk '
 BEGIN { print "["; first = 1 }
