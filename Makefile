@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint vet ci race test-race fuzz bench bench-experiments bench-lint clean
+.PHONY: all build test lint vet ci race test-race test-chaos cover fuzz bench bench-experiments bench-lint clean
 
 all: build test
 
@@ -24,7 +24,7 @@ lint:
 	./scripts/lint.sh
 
 ## ci: everything the CI workflow runs, in the same order.
-ci: build test lint race test-race
+ci: build test lint race test-race test-chaos cover
 
 ## race: the parallel-optimizer and incremental-engine paths under the race
 ## detector (Workers>1 workers each own a cloned PathCounter scratch).
@@ -37,12 +37,28 @@ race:
 test-race:
 	$(GO) test -race ./internal/sim/... ./internal/runner/...
 
+## test-chaos: the deployment-path chaos matrix (DESIGN.md §7.3) under the
+## race detector — netchaos fault injection on live TCP/UDP sockets, every
+## profile × protocol × seed converging to the clean-run transcript, plus
+## worker-count invariance of the full matrix replay.
+test-chaos:
+	$(GO) test -race ./internal/netchaos/... ./internal/integration/...
+
+## cover: per-package coverage ratchet for the deployment path (backoff,
+## ctlplane, detector, netchaos, snmplite). Fails when any package drops
+## below its recorded floor; `scripts/coverage.sh update` re-records them.
+cover:
+	./scripts/coverage.sh
+
 ## fuzz: short smoke runs of the differential fuzzers that pin the scoped +
 ## incremental path-counting engines to the full-sweep reference.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzCountScoped -fuzztime 10s ./internal/topology
 	$(GO) test -run '^$$' -fuzz FuzzIncrementalCounts -fuzztime 10s ./internal/topology
 	$(GO) test -run '^$$' -fuzz FuzzFastCheckDifferential -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzFaultyFrame -fuzztime 10s ./internal/ctlplane
+	$(GO) test -run '^$$' -fuzz FuzzFaultyRequest -fuzztime 10s ./internal/snmplite
+	$(GO) test -run '^$$' -fuzz FuzzFaultyResponse -fuzztime 10s ./internal/snmplite
 
 ## bench: core mitigation-engine benchmarks (fast checker, optimizer,
 ## path counting), 5 repetitions with allocation stats; raw text goes to

@@ -19,7 +19,11 @@ import (
 	"time"
 
 	"corropt"
+	"corropt/internal/backoff"
+	"corropt/internal/ctlplane"
 	"corropt/internal/detector"
+	"corropt/internal/netchaos"
+	"corropt/internal/rngutil"
 	"corropt/internal/simclock"
 	"corropt/internal/snmplite"
 	"corropt/internal/telemetry"
@@ -40,6 +44,13 @@ func main() {
 		repairGap  = flag.Duration("repair-after", 2*time.Second, "wall-clock delay standing in for the 2-day repair")
 		snmpAddr   = flag.String("snmp", "127.0.0.1:0", "snmplite UDP listen address")
 		seed       = flag.Uint64("seed", 7, "random seed")
+		agentID    = flag.String("agent", "corropt-agent", "agent identity reported to the controller (enables idempotent retries; empty disables)")
+		retries    = flag.Int("retries", 5, "control-plane retry attempts after the first")
+
+		chaosDrop    = flag.Float64("chaos-drop", 0, "probability of dropping each outbound write (demo fault injection)")
+		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "probability of bit-flipping each outbound write")
+		chaosDup     = flag.Float64("chaos-dup", 0, "probability of duplicating each outbound write")
+		chaosMax     = flag.Int("chaos-max", 8, "total fault budget across all chaos-wrapped traffic")
 	)
 	flag.Parse()
 
@@ -68,11 +79,34 @@ func main() {
 	defer snmpSrv.Close()
 	fmt.Printf("corropt-agent: telemetry on udp %v\n", snmpSrv.Addr())
 
-	src, closeSrc, err := detector.SNMPSource(snmpSrv.Addr().String(), time.Second, 3)
+	// Optional demo fault injection: wrap both dialers (control-plane TCP
+	// and telemetry UDP) in one seeded netchaos injector so the hardened
+	// clients can be watched retrying through a corrupting deployment path.
+	chaos := netchaos.New(rngutil.New(*seed).Split("agent-chaos"), clk, netchaos.Config{
+		Drop:      *chaosDrop,
+		Dup:       *chaosDup,
+		Corrupt:   *chaosCorrupt,
+		MaxFaults: *chaosMax,
+	})
+	chaos.SetSleep(time.Sleep)
+	defer func() {
+		if s := chaos.Stats(); s.Faults() > 0 {
+			fmt.Printf("corropt-agent: chaos injected %d fault(s) over %d writes\n", s.Faults(), s.Ops)
+		}
+	}()
+
+	snmpCli, err := snmplite.DialConfig(snmpSrv.Addr().String(), snmplite.ClientConfig{
+		Timeout: time.Second,
+		Retry:   backoff.Policy{MaxAttempts: *retries + 1},
+		RNG:     rngutil.New(*seed).Split("agent-snmp-retry"),
+		Clock:   clk,
+		Dial:    snmplite.DialFunc(chaos.DatagramDialer(nil)),
+	})
 	if err != nil {
-		fatalf("detector source: %v", err)
+		fatalf("snmplite dial: %v", err)
 	}
-	defer closeSrc()
+	defer snmpCli.Close()
+	src := detector.SNMPSourceClient(snmpCli)
 	var allLinks []topology.LinkID
 	for l := 0; l < topo.NumLinks(); l++ {
 		allLinks = append(allLinks, topology.LinkID(l))
@@ -82,7 +116,13 @@ func main() {
 		fatalf("detector: %v", err)
 	}
 
-	cli, err := corropt.DialController(*controller)
+	cli, err := ctlplane.DialConfig(*controller, ctlplane.ClientConfig{
+		Clock:   clk,
+		Dial:    ctlplane.DialFunc(chaos.Dialer(nil)),
+		Retry:   backoff.Policy{MaxAttempts: *retries + 1},
+		RNG:     rngutil.New(*seed).Split("agent-ctl-retry"),
+		AgentID: *agentID,
+	})
 	if err != nil {
 		fatalf("controller: %v", err)
 	}

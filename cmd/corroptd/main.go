@@ -15,7 +15,9 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
+	"time"
 
 	"corropt"
 	"corropt/internal/topology"
@@ -29,6 +31,8 @@ func main() {
 		topoFile  = flag.String("topology", "", "load the topology from this JSON file instead")
 		threshold = flag.Float64("threshold", corropt.DefaultDetectionThreshold, "corruption detection threshold")
 		stateFile = flag.String("state", "", "persist disabled-link state to this file across restarts")
+		agentTTL  = flag.Duration("agent-timeout", 10*time.Minute,
+			"mark agents silent for this long as stale and re-optimize (0 disables the sweep)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "corroptd: ", log.LstdFlags)
@@ -76,10 +80,36 @@ func main() {
 	fmt.Printf("corroptd: serving %d links (%d ToRs, %d switches) on %v, capacity %.0f%%\n",
 		topo.NumLinks(), len(topo.ToRs()), topo.NumSwitches(), ctl.Addr(), *capacity*100)
 
+	// Liveness sweep: agents that go silent are marked stale and the
+	// optimizer re-runs, so the mitigation loop degrades gracefully instead
+	// of wedging on activations that are never coming.
+	sweepStop := make(chan struct{})
+	var sweepWG sync.WaitGroup
+	if *agentTTL > 0 {
+		sweepWG.Add(1)
+		go func() {
+			defer sweepWG.Done()
+			ticker := time.NewTicker(*agentTTL / 2)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-sweepStop:
+					return
+				case <-ticker.C:
+					if stale := ctl.SweepStale(*agentTTL); len(stale) > 0 {
+						logger.Printf("liveness sweep: %d agent(s) stale: %v", len(stale), stale)
+					}
+				}
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	logger.Println("shutting down")
+	close(sweepStop)
+	sweepWG.Wait()
 	if err := ctl.Close(); err != nil {
 		logger.Fatal(err)
 	}

@@ -56,6 +56,8 @@ var DeterminismConfig = map[string]Rules{
 	"corropt/internal/trace":       RulesAll,
 	"corropt/internal/rngutil":     RulesAll,
 	"corropt/internal/simclock":    RulesAll,
+	"corropt/internal/backoff":     RulesAll,
+	"corropt/internal/netchaos":    RulesAll,
 
 	"corropt/internal/snmplite": ForbidWallClock,
 	"corropt/internal/ctlplane": ForbidWallClock,

@@ -1,0 +1,88 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+
+	"corropt/internal/rngutil"
+)
+
+func TestNormalizedDefaults(t *testing.T) {
+	p := Policy{}.Normalized()
+	if p.Base != DefaultBase || p.Max != DefaultMax || p.Multiplier != DefaultMultiplier ||
+		p.Jitter != DefaultJitter || p.MaxAttempts != DefaultMaxAttempts {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	if p.Budget != 0 {
+		t.Fatalf("budget should stay unbounded: %v", p.Budget)
+	}
+}
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 35 * time.Millisecond, Multiplier: 2, Jitter: -1, MaxAttempts: 8}
+	want := []time.Duration{10, 20, 35, 35, 35}
+	for i, w := range want {
+		if got := p.Delay(i, nil); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0.2, MaxAttempts: 10}
+	a := rngutil.New(42).Split("retry")
+	b := rngutil.New(42).Split("retry")
+	for i := 0; i < 10; i++ {
+		da := p.Delay(i, a)
+		db := p.Delay(i, b)
+		if da != db {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i, da, db)
+		}
+		center := float64(100*time.Millisecond) * pow(2, i)
+		if center > float64(time.Second) {
+			center = float64(time.Second)
+		}
+		lo, hi := time.Duration(center*0.8), time.Duration(center*1.2)
+		if da < lo || da > hi {
+			t.Fatalf("retry %d delay %v outside [%v, %v]", i, da, lo, hi)
+		}
+	}
+	// A different seed must produce a different schedule somewhere.
+	c := rngutil.New(43).Split("retry")
+	same := true
+	d := rngutil.New(42).Split("retry")
+	for i := 0; i < 10; i++ {
+		if p.Delay(i, c) != p.Delay(i, d) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical jittered schedules")
+	}
+}
+
+func pow(base float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= base
+	}
+	return out
+}
+
+func TestImmediateMode(t *testing.T) {
+	p := Policy{Base: -1, MaxAttempts: 3}
+	for i := 0; i < 5; i++ {
+		if d := p.Delay(i, rngutil.New(1)); d != 0 {
+			t.Fatalf("immediate mode slept %v", d)
+		}
+	}
+}
+
+func TestExhausted(t *testing.T) {
+	p := Policy{MaxAttempts: 3}
+	for i, want := range []bool{false, false, false, true, true} {
+		if got := p.Exhausted(i); got != want {
+			t.Fatalf("Exhausted(%d) = %v, want %v", i, got, want)
+		}
+	}
+}

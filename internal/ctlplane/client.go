@@ -1,63 +1,220 @@
 package ctlplane
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
 
+	"corropt/internal/backoff"
+	"corropt/internal/rngutil"
 	"corropt/internal/simclock"
 	"corropt/internal/topology"
 )
 
-// Client is a switch agent's connection to the CorrOpt controller. Calls
-// are synchronous request/response; a Client is safe for sequential use
-// only (agents report events one at a time).
-type Client struct {
-	conn    net.Conn
-	timeout time.Duration
-	clock   simclock.WallClock
+// Timeout sentinels; wrap the underlying net error and are distinguishable
+// via errors.Is so callers can tell which phase of an exchange starved.
+var (
+	// ErrWriteTimeout marks a request that could not be written before the
+	// write-phase deadline.
+	ErrWriteTimeout = errors.New("ctlplane: write timeout")
+	// ErrReadTimeout marks a response that did not arrive before the
+	// read-phase deadline.
+	ErrReadTimeout = errors.New("ctlplane: read timeout")
+	// ErrRetriesExhausted marks an exchange abandoned after the retry
+	// policy's attempts (or budget) ran out; it wraps the last transport
+	// error.
+	ErrRetriesExhausted = errors.New("ctlplane: retries exhausted")
+)
+
+// DialFunc is the injectable transport hook: chaos harnesses substitute a
+// netchaos-wrapped dialer, production uses net.Dial.
+type DialFunc func(network, address string) (net.Conn, error)
+
+// ClientConfig parameterizes a hardened Client. The zero value behaves
+// like the legacy client: 5s per-phase deadlines, system clock, net.Dial,
+// single attempt, no agent identity.
+type ClientConfig struct {
+	// WriteTimeout and ReadTimeout are the per-phase deadlines; each phase
+	// gets its own deadline measured from its own start, so a slow write
+	// no longer eats the read budget. Zero falls back to Timeout.
+	WriteTimeout time.Duration
+	ReadTimeout  time.Duration
+	// Timeout is the legacy per-phase default when the per-phase fields
+	// are zero (default 5s).
+	Timeout time.Duration
+	// Clock supplies deadline and budget reads; default simclock.Real.
+	Clock simclock.WallClock
+	// Dial opens (and re-opens) the controller connection; default
+	// net.Dial. Chaos tests inject a netchaos wrapper here.
+	Dial DialFunc
+	// Retry is the reconnect/retry policy for transport failures; the zero
+	// value means a single attempt (legacy behavior). Retries re-dial and
+	// re-send the same sequence number, which the controller dedupes.
+	Retry backoff.Policy
+	// RNG jitters the retry schedule; default a fixed-seed substream (the
+	// schedule stays deterministic unless the caller injects entropy).
+	RNG *rngutil.Source
+	// AgentID names this client to the controller, enabling idempotent
+	// replay and liveness tracking. Empty disables both.
+	AgentID string
+	// Sleep pauses between retries; default time.Sleep. Virtual-time
+	// harnesses inject a no-op or clock-advancing hook.
+	Sleep func(time.Duration)
 }
 
-// Dial connects to the controller at addr with a per-call deadline
-// (default 5s when zero), reading deadlines from the system clock.
+func (cfg ClientConfig) normalized() ClientConfig {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = cfg.Timeout
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = cfg.Timeout
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = net.Dial
+	}
+	if cfg.Retry.MaxAttempts <= 0 {
+		// Legacy default: one attempt, no reconnect dance.
+		cfg.Retry.MaxAttempts = 1
+	}
+	cfg.Retry = cfg.Retry.Normalized()
+	if cfg.RNG == nil {
+		cfg.RNG = rngutil.New(1).Split("ctlplane-retry")
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return cfg
+}
+
+// Client is a switch agent's connection to the CorrOpt controller. Calls
+// are synchronous request/response; a Client is safe for sequential use
+// only (agents report events one at a time). On transport failure the
+// client re-dials with jittered exponential backoff and replays the same
+// sequence-numbered request, which the controller answers idempotently.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+	conn net.Conn
+	seq  uint64
+}
+
+// Dial connects to the controller at addr with a per-phase deadline
+// (default 5s when zero), reading deadlines from the system clock. Legacy
+// single-attempt semantics; use DialConfig for the hardened client.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	return DialClock(addr, timeout, simclock.Real{})
+	return DialConfig(addr, ClientConfig{Timeout: timeout})
 }
 
 // DialClock is Dial with an injected wall clock, for harnesses that replay
 // the control plane against virtual time.
 func DialClock(addr string, timeout time.Duration, clock simclock.WallClock) (*Client, error) {
-	if timeout <= 0 {
-		timeout = 5 * time.Second
-	}
-	if clock == nil {
-		clock = simclock.Real{}
-	}
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(addr, ClientConfig{Timeout: timeout, Clock: clock})
+}
+
+// DialConfig connects a configured client; the initial dial is eager so
+// address errors surface immediately, reconnects are lazy.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.normalized()
+	conn, err := cfg.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ctlplane: dial: %w", err)
 	}
-	return &Client{conn: conn, timeout: timeout, clock: clock}, nil
+	return &Client{addr: addr, cfg: cfg, conn: conn}, nil
 }
 
 // Close tears the connection down.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
 
-func (c *Client) roundTrip(req *Envelope) (*Envelope, error) {
-	if err := c.conn.SetDeadline(c.clock.Now().Add(c.timeout)); err != nil {
-		return nil, err
+// dropConn discards a connection known (or suspected) broken.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		_ = c.conn.Close() // already failing; the transport error is the one reported
+		c.conn = nil
+	}
+}
+
+// exchange performs one write+read attempt with per-phase deadlines.
+func (c *Client) exchange(req *Envelope) (*Envelope, error) {
+	if c.conn == nil {
+		conn, err := c.cfg.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, fmt.Errorf("ctlplane: redial: %w", err)
+		}
+		c.conn = conn
+	}
+	if err := c.conn.SetWriteDeadline(c.cfg.Clock.Now().Add(c.cfg.WriteTimeout)); err != nil {
+		return nil, fmt.Errorf("ctlplane: set write deadline: %w", err)
 	}
 	if err := WriteMsg(c.conn, req); err != nil {
-		return nil, err
+		return nil, phaseErr("write request", ErrWriteTimeout, err)
+	}
+	if err := c.conn.SetReadDeadline(c.cfg.Clock.Now().Add(c.cfg.ReadTimeout)); err != nil {
+		return nil, fmt.Errorf("ctlplane: set read deadline: %w", err)
 	}
 	resp, err := ReadMsg(c.conn)
 	if err != nil {
-		return nil, err
+		return nil, phaseErr("read response", ErrReadTimeout, err)
 	}
-	if resp.Type == TypeError {
-		return nil, fmt.Errorf("ctlplane: controller error: %s", resp.Error)
+	if req.Seq != 0 && resp.Seq != 0 && resp.Seq != req.Seq {
+		return nil, fmt.Errorf("ctlplane: response seq %d does not match request seq %d", resp.Seq, req.Seq)
 	}
 	return resp, nil
+}
+
+// phaseErr wraps a transport error with its phase; timeouts additionally
+// wrap the per-phase sentinel so errors.Is can tell the phases apart.
+func phaseErr(phase string, sentinel error, err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("ctlplane: %s: %w: %w", phase, sentinel, err)
+	}
+	return fmt.Errorf("ctlplane: %s: %w", phase, err)
+}
+
+func (c *Client) roundTrip(req *Envelope) (*Envelope, error) {
+	c.seq++
+	req.Seq = c.seq
+	req.Agent = c.cfg.AgentID
+	p := c.cfg.Retry
+	start := c.cfg.Clock.Now()
+	var lastErr error
+	for attempt := 0; !p.Exhausted(attempt); attempt++ {
+		if attempt > 0 {
+			c.cfg.Sleep(p.Delay(attempt-1, c.cfg.RNG))
+		}
+		if p.Budget > 0 && c.cfg.Clock.Now().Sub(start) > p.Budget {
+			break
+		}
+		resp, err := c.exchange(req)
+		if err == nil {
+			if resp.Type == TypeError {
+				// A semantic refusal from the controller: the transport is
+				// healthy, so surface it without burning retries.
+				return nil, fmt.Errorf("ctlplane: controller error: %s", resp.Error)
+			}
+			return resp, nil
+		}
+		lastErr = err
+		c.dropConn()
+	}
+	if lastErr == nil {
+		lastErr = errors.New("retry budget exhausted before first attempt")
+	}
+	return nil, fmt.Errorf("%w: %w", ErrRetriesExhausted, lastErr)
 }
 
 // Report announces corruption on a link and returns the controller's

@@ -4,15 +4,21 @@
 // each report with a disable/keep decision from the fast checker, and
 // reacts to link-activation notifications by running the optimizer.
 //
-// Framing is a 4-byte big-endian length followed by one JSON-encoded
-// message; message bodies are small and infrequent (corruption events, not
-// packets), so readability wins over compactness here.
+// Framing is a 4-byte big-endian length, a 4-byte CRC-32C of the body,
+// then one JSON-encoded message; message bodies are small and infrequent
+// (corruption events, not packets), so readability wins over compactness
+// here. The checksum exists because this control traffic crosses the same
+// corrupting network the protocol manages (§5–§6): a frame that survives a
+// bit-flip must be rejected loudly (the client retries), never silently
+// misparsed into a wrong rate or link id.
 package ctlplane
 
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"corropt/internal/topology"
@@ -21,6 +27,16 @@ import (
 // MaxFrame bounds one frame to keep a misbehaving peer from ballooning
 // memory.
 const MaxFrame = 1 << 20
+
+// frameHeaderLen is the length prefix plus the body checksum.
+const frameHeaderLen = 8
+
+// ErrChecksum reports a frame whose body does not match its CRC-32C — the
+// signature of in-flight corruption. Distinguish with errors.Is.
+var ErrChecksum = errors.New("ctlplane: frame checksum mismatch")
+
+// crcTable is the Castagnoli polynomial, the same one iSCSI and ext4 use.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // MsgType discriminates protocol messages.
 type MsgType string
@@ -44,8 +60,19 @@ const (
 )
 
 // Envelope is the frame body: a type tag plus one non-nil payload field.
+// Agent and Seq, when set, make requests idempotent: the controller caches
+// the reply per (agent, seq) and replays it verbatim when a reconnecting
+// client retries a request whose response was lost, instead of re-running
+// side effects like the optimizer.
 type Envelope struct {
 	Type MsgType `json:"type"`
+
+	// Agent identifies the reporting client for idempotency and liveness
+	// tracking; empty disables both (legacy clients).
+	Agent string `json:"agent,omitempty"`
+	// Seq is the client's monotonically increasing request number; replies
+	// echo it so a client can reject stale responses after a reconnect.
+	Seq uint64 `json:"seq,omitempty"`
 
 	Report         *Report         `json:"report,omitempty"`
 	Decision       *Decision       `json:"decision,omitempty"`
@@ -89,6 +116,10 @@ type StatusResult struct {
 	ActiveCorrupting int     `json:"active_corrupting"`
 	WorstToRFraction float64 `json:"worst_tor_fraction"`
 	TotalPenalty     float64 `json:"total_penalty"`
+	// Agents is the number of live tracked agents; StaleAgents the
+	// cumulative count marked stale by liveness sweeps.
+	Agents      int `json:"agents,omitempty"`
+	StaleAgents int `json:"stale_agents,omitempty"`
 }
 
 // WriteMsg frames and writes one envelope.
@@ -100,8 +131,9 @@ func WriteMsg(w io.Writer, e *Envelope) error {
 	if len(body) > MaxFrame {
 		return fmt.Errorf("ctlplane: frame of %d bytes exceeds limit", len(body))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(body, crcTable))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -109,19 +141,22 @@ func WriteMsg(w io.Writer, e *Envelope) error {
 	return err
 }
 
-// ReadMsg reads one framed envelope.
+// ReadMsg reads one framed envelope, verifying the body checksum.
 func ReadMsg(r io.Reader) (*Envelope, error) {
-	var hdr [4]byte
+	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > MaxFrame {
 		return nil, fmt.Errorf("ctlplane: frame of %d bytes exceeds limit", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
+	}
+	if got, want := crc32.Checksum(body, crcTable), binary.BigEndian.Uint32(hdr[4:]); got != want {
+		return nil, fmt.Errorf("%w: computed %08x, header says %08x", ErrChecksum, got, want)
 	}
 	var e Envelope
 	if err := json.Unmarshal(body, &e); err != nil {

@@ -4,19 +4,45 @@ import (
 	"errors"
 	"log"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"corropt/internal/core"
+	"corropt/internal/simclock"
 )
+
+// maxCachedReplies bounds the per-agent idempotency cache; retries replay
+// recent sequence numbers, so a small FIFO window is plenty.
+const maxCachedReplies = 128
+
+// agentState tracks one reporting agent: when it was last heard from (for
+// the liveness sweep) and its recent replies keyed by sequence number (for
+// idempotent replay after a reconnect).
+type agentState struct {
+	lastSeen time.Time
+	replies  map[uint64]*Envelope
+	order    []uint64 // FIFO eviction order for replies
+}
 
 // Controller serves the CorrOpt control plane over TCP. All decisions run
 // against one core.Engine guarded by a mutex: corruption events are rare
 // (per §3, a handful of links per data center per day), so a single
 // serialized decision path is both simple and far faster than needed.
+//
+// The controller is hardened against the network it manages (§5–§6):
+// requests carrying an agent identity and sequence number are answered
+// idempotently (replayed requests get the cached reply, so a retried
+// Activate does not re-run the optimizer), and the liveness sweep marks
+// agents that have gone silent as stale so the report→disable→ticket loop
+// degrades gracefully instead of wedging on a vanished agent.
 type Controller struct {
 	engine *core.Engine
+	clock  simclock.WallClock
 
-	mu sync.Mutex // guards engine
+	mu         sync.Mutex // guards engine, agents, staleTotal
+	agents     map[string]*agentState
+	staleTotal int
 
 	lnMu   sync.Mutex
 	ln     net.Listener
@@ -29,13 +55,35 @@ type Controller struct {
 }
 
 // NewController starts a controller for engine on addr (e.g.
-// "127.0.0.1:0").
+// "127.0.0.1:0"), reading liveness timestamps from the system clock.
 func NewController(addr string, engine *core.Engine) (*Controller, error) {
+	return NewControllerClock(addr, engine, simclock.Real{})
+}
+
+// NewControllerClock is NewController with an injected wall clock, for
+// harnesses that drive liveness against virtual time.
+func NewControllerClock(addr string, engine *core.Engine, clock simclock.WallClock) (*Controller, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Controller{engine: engine, ln: ln, conns: make(map[net.Conn]struct{})}
+	return ServeListener(ln, engine, clock)
+}
+
+// ServeListener starts a controller on an existing listener — the
+// injection point chaos harnesses use to wrap the accept path in fault
+// injection. The controller owns ln and closes it on Close.
+func ServeListener(ln net.Listener, engine *core.Engine, clock simclock.WallClock) (*Controller, error) {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	c := &Controller{
+		engine: engine,
+		clock:  clock,
+		agents: make(map[string]*agentState),
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+	}
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return c, nil
@@ -107,9 +155,75 @@ func (c *Controller) serveConn(conn net.Conn) {
 	}
 }
 
+// SweepStale removes agents not heard from within maxSilence and returns
+// their names in sorted order. When any agent went stale the engine is
+// re-optimized: a silent agent's pending activations are never coming, so
+// the sweep keeps the mitigation loop making progress (the optimizer can
+// still disable further links as repairs elsewhere create headroom)
+// instead of wedging on the missing report→disable→ticket turn.
+func (c *Controller) SweepStale(maxSilence time.Duration) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.clock.Now()
+	var stale []string
+	for name, st := range c.agents {
+		if now.Sub(st.lastSeen) > maxSilence {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		delete(c.agents, name)
+	}
+	c.staleTotal += len(stale)
+	if len(stale) > 0 {
+		_, _ = c.engine.Reoptimize()
+	}
+	return stale
+}
+
+// AgentStats reports the number of live tracked agents and the cumulative
+// count of agents marked stale by sweeps.
+func (c *Controller) AgentStats() (live, stale int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.agents), c.staleTotal
+}
+
 func (c *Controller) handle(msg *Envelope) *Envelope {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+
+	var st *agentState
+	if msg.Agent != "" {
+		st = c.agents[msg.Agent]
+		if st == nil {
+			st = &agentState{replies: make(map[uint64]*Envelope)}
+			c.agents[msg.Agent] = st
+		}
+		st.lastSeen = c.clock.Now()
+		if msg.Seq != 0 {
+			if cached, ok := st.replies[msg.Seq]; ok {
+				return cached // idempotent replay: do not re-run side effects
+			}
+		}
+	}
+
+	reply := c.dispatch(msg)
+	reply.Seq = msg.Seq
+	if st != nil && msg.Seq != 0 {
+		st.replies[msg.Seq] = reply
+		st.order = append(st.order, msg.Seq)
+		if len(st.order) > maxCachedReplies {
+			delete(st.replies, st.order[0])
+			st.order = st.order[1:]
+		}
+	}
+	return reply
+}
+
+// dispatch runs one decoded request against the engine; c.mu is held.
+func (c *Controller) dispatch(msg *Envelope) *Envelope {
 	net := c.engine.Network()
 	switch msg.Type {
 	case TypeReport:
@@ -143,6 +257,8 @@ func (c *Controller) handle(msg *Envelope) *Envelope {
 			ActiveCorrupting: len(net.ActiveCorrupting(c.engine.Threshold())),
 			WorstToRFraction: net.WorstToRFraction(),
 			TotalPenalty:     net.TotalPenalty(core.LinearPenalty),
+			Agents:           len(c.agents),
+			StaleAgents:      c.staleTotal,
 		}}
 	default:
 		return errEnvelope("unknown message type " + string(msg.Type))

@@ -28,7 +28,15 @@ func SNMPSource(addr string, timeout time.Duration, retries int) (Source, func()
 	if err != nil {
 		return nil, nil, err
 	}
-	src := SourceFunc(func(l topology.LinkID) (Reading, error) {
+	return SNMPSourceClient(cli), cli.Close, nil
+}
+
+// SNMPSourceClient adapts an already-dialed snmplite client — the way
+// chaos harnesses and hardened deployments inject their own transport
+// (custom dialers, backoff policies, virtual clocks) into the detector's
+// polling path. The caller keeps ownership of cli and closes it.
+func SNMPSourceClient(cli *snmplite.Client) Source {
+	return SourceFunc(func(l topology.LinkID) (Reading, error) {
 		values, err := cli.Get([]snmplite.Query{
 			{Link: uint32(l), Counter: snmplite.CounterPacketsUp},
 			{Link: uint32(l), Counter: snmplite.CounterPacketsDown},
@@ -53,5 +61,4 @@ func SNMPSource(addr string, timeout time.Duration, retries int) (Source, func()
 		}
 		return r, nil
 	})
-	return src, cli.Close, nil
 }

@@ -1,0 +1,346 @@
+package netchaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"corropt/internal/rngutil"
+)
+
+// errReset is the error surfaced by an injected mid-stream reset. It wraps
+// net.ErrClosed so consumers' existing "connection is gone" handling
+// (errors.Is(err, net.ErrClosed)) fires without netchaos-specific code.
+func errReset() error {
+	return fmt.Errorf("netchaos: injected connection reset: %w", net.ErrClosed)
+}
+
+// writePlan is the outcome of one fault decision: the payloads to forward
+// (in order), an optional pause to serve first, and whether the write dies
+// with an injected reset. The plan is computed under the endpoint's lock
+// and executed after releasing it, so state updates stay serialized while
+// no blocking I/O ever happens with a mutex held (the repo's lockorder
+// contract).
+type writePlan struct {
+	sends [][]byte
+	pause time.Duration
+	sleep func(time.Duration)
+	reset bool
+}
+
+// chaosConn wraps a net.Conn with write-path fault injection. datagram
+// mode adapts the semantics to connected packet sockets: a reset becomes
+// loss instead of closing the socket, and truncation keeps at least one
+// byte-range prefix per datagram.
+type chaosConn struct {
+	net.Conn
+	inj      *Injector
+	rng      *rngutil.Source
+	name     string
+	datagram bool
+
+	// mu serializes the decision/state half of the write and close paths:
+	// net.Conn permits Close (and Write) from a goroutine concurrent with
+	// a writer, and the held reorder buffer plus op counter must not race
+	// when that happens. Lock ordering: mu is acquired before the
+	// injector's lock (taken inside decide); never the other way around.
+	// The forwarding I/O itself runs after mu is released.
+	mu    sync.Mutex
+	op    int
+	held  []byte // payload held back by a pending reorder
+	reset bool
+}
+
+// Conn wraps c with stream-semantics fault injection: an injected reset
+// closes the underlying conn and fails the write, like a TCP RST.
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	name, rng := in.newEndpoint("conn")
+	return &chaosConn{Conn: c, inj: in, rng: rng, name: name}
+}
+
+// DatagramConn wraps a connected packet socket (e.g. a dialed UDP conn)
+// with datagram-semantics fault injection: each Write is one datagram and
+// an injected reset manifests as loss, the only way UDP sees one.
+func (in *Injector) DatagramConn(c net.Conn) net.Conn {
+	name, rng := in.newEndpoint("dconn")
+	return &chaosConn{Conn: c, inj: in, rng: rng, name: name, datagram: true}
+}
+
+// Dialer wraps base so every dialed conn carries stream fault injection;
+// pass net.Dial (or any DialFunc) as the base.
+func (in *Injector) Dialer(base DialFunc) DialFunc {
+	if base == nil {
+		base = net.Dial
+	}
+	return func(network, address string) (net.Conn, error) {
+		c, err := base(network, address)
+		if err != nil {
+			return nil, err
+		}
+		return in.Conn(c), nil
+	}
+}
+
+// DatagramDialer is Dialer with datagram semantics for the wrapped conns.
+func (in *Injector) DatagramDialer(base DialFunc) DialFunc {
+	if base == nil {
+		base = net.Dial
+	}
+	return func(network, address string) (net.Conn, error) {
+		c, err := base(network, address)
+		if err != nil {
+			return nil, err
+		}
+		return in.DatagramConn(c), nil
+	}
+}
+
+// Write applies at most one injected fault, then forwards. The caller's
+// buffer is never modified; on success the caller always sees len(b)
+// written (a dropped or truncated payload is the network's secret, exactly
+// as a lossy path would behave above the socket API).
+func (c *chaosConn) Write(b []byte) (int, error) {
+	p, err := c.plan(b)
+	if err != nil {
+		return 0, err
+	}
+	if p.sleep != nil {
+		p.sleep(p.pause)
+	}
+	if p.reset {
+		_ = c.Conn.Close() // the reset is the error being reported
+		return 0, errReset()
+	}
+	for _, payload := range p.sends {
+		if err := c.forward(payload); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}
+
+// plan draws one fault decision and applies its state effects (op counter,
+// reorder hold-back, reset latch) under mu, returning the I/O the caller
+// must perform after the lock is released.
+func (c *chaosConn) plan(b []byte) (writePlan, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.reset {
+		return writePlan{}, errReset()
+	}
+	d := c.inj.decide(c.rng, c.name, c.op, len(b))
+	c.op++
+	var p writePlan
+	switch d.kind {
+	case KindDrop:
+		// Flush any held reorder payload so the stream doesn't starve,
+		// then swallow this write.
+		p.sends = c.takeHeld(p.sends)
+		return p, nil
+	case KindDup:
+		p.sends = append(p.sends, b, b)
+		return p, nil
+	case KindReorder:
+		if c.held == nil {
+			c.held = append([]byte(nil), b...)
+			return p, nil
+		}
+		// Already holding one payload: emit this write first, then the
+		// held one — the swap is the reorder.
+		p.sends = append(p.sends, b)
+		p.sends = c.takeHeld(p.sends)
+		return p, nil
+	case KindCorrupt:
+		p.sends = append(p.sends, corruptCopy(b, d.flips))
+		return p, nil
+	case KindTruncate:
+		if d.cut > 0 {
+			p.sends = append(p.sends, b[:d.cut])
+		}
+		return p, nil
+	case KindReset:
+		if c.datagram {
+			// UDP cannot observe a reset mid-flight; the datagram is lost.
+			return p, nil
+		}
+		c.reset = true
+		p.reset = true
+		return p, nil
+	case KindDelay:
+		p.pause = d.pause
+		p.sleep = c.inj.sleepFn()
+	}
+	p.sends = c.takeHeld(p.sends)
+	p.sends = append(p.sends, b)
+	return p, nil
+}
+
+// takeHeld moves a pending reordered payload (if any) onto sends. Caller
+// must hold mu.
+func (c *chaosConn) takeHeld(sends [][]byte) [][]byte {
+	if c.held != nil {
+		sends = append(sends, c.held)
+		c.held = nil
+	}
+	return sends
+}
+
+// forward writes p fully to the underlying conn.
+func (c *chaosConn) forward(p []byte) error {
+	_, err := c.Conn.Write(p)
+	return err
+}
+
+// Close flushes a pending reordered payload (best-effort) and closes the
+// underlying conn.
+func (c *chaosConn) Close() error {
+	c.mu.Lock()
+	held := c.held
+	c.held = nil
+	wasReset := c.reset
+	c.mu.Unlock()
+	if held != nil && !wasReset {
+		_ = c.forward(held) // best-effort: the conn is going away either way
+	}
+	return c.Conn.Close()
+}
+
+// chaosListener wraps accepted conns with stream fault injection.
+type chaosListener struct {
+	net.Listener
+	inj *Injector
+}
+
+// Listener wraps ln so accepted conns carry stream fault injection on
+// their write (server→client) path.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	return &chaosListener{Listener: ln, inj: in}
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.inj.Conn(c), nil
+}
+
+// dgramSend is one datagram of a packet-conn write plan.
+type dgramSend struct {
+	p    []byte
+	addr net.Addr
+}
+
+// dgramPlan mirrors writePlan for the unconnected packet socket.
+type dgramPlan struct {
+	sends []dgramSend
+	pause time.Duration
+	sleep func(time.Duration)
+}
+
+// chaosPacketConn wraps a net.PacketConn with datagram fault injection on
+// the WriteTo path.
+type chaosPacketConn struct {
+	net.PacketConn
+	inj  *Injector
+	rng  *rngutil.Source
+	name string
+
+	// mu serializes the decision/state half of WriteTo/Close, mirroring
+	// chaosConn.mu (same lock ordering: mu before the injector's lock;
+	// I/O happens after mu is released).
+	mu       sync.Mutex
+	op       int
+	held     []byte
+	heldAddr net.Addr
+}
+
+// PacketConn wraps pc with datagram fault injection; an injected reset
+// manifests as loss (the socket survives).
+func (in *Injector) PacketConn(pc net.PacketConn) net.PacketConn {
+	name, rng := in.newEndpoint("pconn")
+	return &chaosPacketConn{PacketConn: pc, inj: in, rng: rng, name: name}
+}
+
+func (c *chaosPacketConn) WriteTo(b []byte, addr net.Addr) (int, error) {
+	p := c.plan(b, addr)
+	if p.sleep != nil {
+		p.sleep(p.pause)
+	}
+	for _, s := range p.sends {
+		if err := c.forward(s.p, s.addr); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}
+
+// plan is chaosConn.plan for the unconnected socket: fault decision and
+// state effects under mu, blocking I/O left to the caller.
+func (c *chaosPacketConn) plan(b []byte, addr net.Addr) dgramPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.inj.decide(c.rng, c.name, c.op, len(b))
+	c.op++
+	var p dgramPlan
+	switch d.kind {
+	case KindDrop, KindReset:
+		p.sends = c.takeHeld(p.sends)
+		return p
+	case KindDup:
+		p.sends = append(p.sends, dgramSend{b, addr}, dgramSend{b, addr})
+		return p
+	case KindReorder:
+		if c.held == nil {
+			c.held = append([]byte(nil), b...)
+			c.heldAddr = addr
+			return p
+		}
+		p.sends = append(p.sends, dgramSend{b, addr})
+		p.sends = c.takeHeld(p.sends)
+		return p
+	case KindCorrupt:
+		p.sends = append(p.sends, dgramSend{corruptCopy(b, d.flips), addr})
+		return p
+	case KindTruncate:
+		if d.cut > 0 {
+			p.sends = append(p.sends, dgramSend{b[:d.cut], addr})
+		}
+		return p
+	case KindDelay:
+		p.pause = d.pause
+		p.sleep = c.inj.sleepFn()
+	}
+	p.sends = c.takeHeld(p.sends)
+	p.sends = append(p.sends, dgramSend{b, addr})
+	return p
+}
+
+// takeHeld moves a pending reordered datagram (if any) onto sends. Caller
+// must hold mu.
+func (c *chaosPacketConn) takeHeld(sends []dgramSend) []dgramSend {
+	if c.held != nil {
+		sends = append(sends, dgramSend{c.held, c.heldAddr})
+		c.held, c.heldAddr = nil, nil
+	}
+	return sends
+}
+
+func (c *chaosPacketConn) forward(p []byte, addr net.Addr) error {
+	_, err := c.PacketConn.WriteTo(p, addr)
+	return err
+}
+
+// Close flushes a pending reordered datagram (best-effort) and closes the
+// underlying socket.
+func (c *chaosPacketConn) Close() error {
+	c.mu.Lock()
+	held, addr := c.held, c.heldAddr
+	c.held, c.heldAddr = nil, nil
+	c.mu.Unlock()
+	if held != nil {
+		_ = c.forward(held, addr) // best-effort: the socket is going away either way
+	}
+	return c.PacketConn.Close()
+}

@@ -6,27 +6,77 @@ import (
 	"net"
 	"time"
 
+	"corropt/internal/backoff"
+	"corropt/internal/rngutil"
 	"corropt/internal/simclock"
 	"corropt/internal/telemetry"
 	"corropt/internal/topology"
 )
 
-// Client polls an snmplite server. It retries lost datagrams and matches
-// responses to requests by id, ignoring stale replies. A Client is safe for
+// ErrTimeout marks a poll abandoned after the retransmit policy's attempts
+// (or overall budget) ran out without a matching response. Distinguish
+// with errors.Is; it wraps nothing because UDP loss leaves no inner error.
+var ErrTimeout = errors.New("snmplite: response timeout")
+
+// DialFunc is the injectable transport hook: chaos harnesses substitute a
+// netchaos-wrapped dialer, production uses net.Dial.
+type DialFunc func(network, address string) (net.Conn, error)
+
+// ClientConfig parameterizes a Client. The zero value polls with a 500ms
+// per-attempt deadline and the shared default backoff policy (4 attempts,
+// 10ms/20ms/40ms ±20% jitter).
+type ClientConfig struct {
+	// Timeout is the per-attempt response deadline (default 500ms).
+	Timeout time.Duration
+	// Retry spaces retransmissions: MaxAttempts bounds total sends of one
+	// request, Budget bounds the whole exchange including waits.
+	Retry backoff.Policy
+	// RNG jitters the retransmit schedule; default a fixed-seed substream
+	// (deterministic unless the caller injects entropy).
+	RNG *rngutil.Source
+	// Clock supplies deadline and budget reads; default simclock.Real.
+	Clock simclock.WallClock
+	// Dial opens the server connection; default net.Dial.
+	Dial DialFunc
+	// Sleep pauses between retransmits; default time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (cfg ClientConfig) normalized() ClientConfig {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	cfg.Retry = cfg.Retry.Normalized()
+	if cfg.RNG == nil {
+		cfg.RNG = rngutil.New(1).Split("snmplite-retry")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = net.Dial
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return cfg
+}
+
+// Client polls an snmplite server. It retransmits lost datagrams on the
+// shared jittered-backoff policy and matches responses to requests by id,
+// dropping stale, duplicated, or corrupted replies. A Client is safe for
 // sequential use only.
 type Client struct {
-	conn    net.Conn
-	timeout time.Duration
-	retries int
-	nextID  uint32
-	buf     []byte
-	clock   simclock.WallClock
+	conn   net.Conn
+	cfg    ClientConfig
+	nextID uint32
+	buf    []byte
 }
 
 // Dial connects a client to the server at addr. timeout is the per-attempt
 // response deadline (default 500ms) and retries the number of
 // retransmissions after the first attempt (default 3). Deadlines read the
-// system clock.
+// system clock and retransmits follow the shared backoff policy.
 func Dial(addr string, timeout time.Duration, retries int) (*Client, error) {
 	return DialClock(addr, timeout, retries, simclock.Real{})
 }
@@ -34,20 +84,24 @@ func Dial(addr string, timeout time.Duration, retries int) (*Client, error) {
 // DialClock is Dial with an injected wall clock, for harnesses that replay
 // telemetry polls against virtual time.
 func DialClock(addr string, timeout time.Duration, retries int, clock simclock.WallClock) (*Client, error) {
-	if timeout <= 0 {
-		timeout = 500 * time.Millisecond
-	}
 	if retries < 0 {
 		retries = 3
 	}
-	if clock == nil {
-		clock = simclock.Real{}
-	}
-	conn, err := net.Dial("udp", addr)
+	return DialConfig(addr, ClientConfig{
+		Timeout: timeout,
+		Retry:   backoff.Policy{MaxAttempts: retries + 1},
+		Clock:   clock,
+	})
+}
+
+// DialConfig connects a fully configured client.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.normalized()
+	conn, err := cfg.Dial("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("snmplite: dial: %w", err)
 	}
-	return &Client{conn: conn, timeout: timeout, retries: retries, buf: make([]byte, 64*1024), clock: clock}, nil
+	return &Client{conn: conn, cfg: cfg, buf: make([]byte, 64*1024)}, nil
 }
 
 // Close releases the client's socket.
@@ -79,12 +133,20 @@ func (c *Client) getOnce(queries []Query) ([]Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	p := c.cfg.Retry
+	start := c.cfg.Clock.Now()
 	var lastErr error
-	for attempt := 0; attempt <= c.retries; attempt++ {
+	for attempt := 0; !p.Exhausted(attempt); attempt++ {
+		if attempt > 0 {
+			c.cfg.Sleep(p.Delay(attempt-1, c.cfg.RNG))
+		}
+		if p.Budget > 0 && c.cfg.Clock.Now().Sub(start) > p.Budget {
+			break
+		}
 		if _, err := c.conn.Write(pkt); err != nil {
 			return nil, fmt.Errorf("snmplite: send: %w", err)
 		}
-		deadline := c.clock.Now().Add(c.timeout)
+		deadline := c.cfg.Clock.Now().Add(c.cfg.Timeout)
 		if err := c.conn.SetReadDeadline(deadline); err != nil {
 			return nil, err
 		}
@@ -93,8 +155,9 @@ func (c *Client) getOnce(queries []Query) ([]Value, error) {
 			if err != nil {
 				var ne net.Error
 				if errors.As(err, &ne) && ne.Timeout() {
-					lastErr = fmt.Errorf("snmplite: timeout waiting for response %d", id)
-					break // retransmit
+					lastErr = fmt.Errorf("%w: no response %d after attempt %d/%d",
+						ErrTimeout, id, attempt+1, p.Normalized().MaxAttempts)
+					break // retransmit with backoff
 				}
 				return nil, fmt.Errorf("snmplite: recv: %w", err)
 			}
@@ -102,11 +165,24 @@ func (c *Client) getOnce(queries []Query) ([]Value, error) {
 			if gotID != id {
 				continue // stale reply to an earlier (retransmitted) request
 			}
-			if err != nil {
+			var re *RemoteError
+			if errors.As(err, &re) {
+				// A semantic refusal from the server: the transport is
+				// healthy, so surface it without burning retransmits.
 				return nil, err
+			}
+			if err != nil {
+				// Corrupted or truncated in flight (bad checksum, bad
+				// framing): treat like loss and keep waiting — the
+				// deadline will trigger a retransmission.
+				lastErr = fmt.Errorf("snmplite: discarded damaged response %d: %w", id, err)
+				continue
 			}
 			return values, nil
 		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("%w: retry budget exhausted before first attempt", ErrTimeout)
 	}
 	return nil, lastErr
 }

@@ -1,0 +1,85 @@
+package snmplite
+
+import (
+	"testing"
+
+	"corropt/internal/netchaos"
+	"corropt/internal/rngutil"
+)
+
+// FuzzFaultyRequest round-trips well-formed request datagrams through
+// netchaos byte mutations and requires the decoder to either reject the
+// damage or return the original queries exactly — a corrupted (link,
+// counter) pair must never be silently misread as a different one.
+func FuzzFaultyRequest(f *testing.F) {
+	f.Add(uint32(7), uint32(3), uint16(2), uint64(1))
+	f.Add(uint32(0), uint32(0), uint16(0), uint64(99))
+	f.Fuzz(func(t *testing.T, reqID, link uint32, counter uint16, seed uint64) {
+		queries := []Query{
+			{Link: link, Counter: CounterID(counter)},
+			{Link: link + 1, Counter: CounterErrorsDown},
+		}
+		pkt, err := EncodeRequest(reqID, queries)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		mut := netchaos.NewMutator(rngutil.New(seed), netchaos.Config{
+			Corrupt: 0.5, Truncate: 0.3, Drop: 0.1,
+		})
+		damaged, kind := mut.Mutate(pkt)
+		if damaged == nil {
+			return // lost in flight; the poller's retransmit covers this
+		}
+		gotID, gotQ, err := DecodeRequest(damaged)
+		if err != nil {
+			return // damage rejected — the server drops it like line noise
+		}
+		if gotID != reqID || len(gotQ) != len(queries) {
+			t.Fatalf("silent misparse after %v fault: id %d→%d, %d→%d queries",
+				kind, reqID, gotID, len(queries), len(gotQ))
+		}
+		for i := range queries {
+			if gotQ[i] != queries[i] {
+				t.Fatalf("silent misparse after %v fault: query %d %v→%v", kind, i, queries[i], gotQ[i])
+			}
+		}
+	})
+}
+
+// FuzzFaultyResponse is FuzzFaultyRequest for the response direction: a
+// bit-flipped counter value must never be silently misread as a different
+// error rate (the failure mode the §2 monitoring pipeline cannot afford).
+func FuzzFaultyResponse(f *testing.F) {
+	f.Add(uint32(9), uint32(1), uint64(42), uint64(5))
+	f.Add(uint32(1), uint32(8), uint64(1<<40), uint64(13))
+	f.Fuzz(func(t *testing.T, reqID, link uint32, value, seed uint64) {
+		values := []Value{
+			{Query: Query{Link: link, Counter: CounterPacketsUp}, Value: value},
+			{Query: Query{Link: link, Counter: CounterErrorsUp}, Value: value / 2},
+		}
+		pkt, err := EncodeResponse(reqID, values)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		mut := netchaos.NewMutator(rngutil.New(seed), netchaos.Config{
+			Corrupt: 0.5, Truncate: 0.3, Drop: 0.1,
+		})
+		damaged, kind := mut.Mutate(pkt)
+		if damaged == nil {
+			return
+		}
+		gotID, gotV, err := DecodeResponse(damaged)
+		if err != nil {
+			return // damage rejected — the client treats it as loss
+		}
+		if gotID != reqID || len(gotV) != len(values) {
+			t.Fatalf("silent misparse after %v fault: id %d→%d, %d→%d values",
+				kind, reqID, gotID, len(values), len(gotV))
+		}
+		for i := range values {
+			if gotV[i] != values[i] {
+				t.Fatalf("silent misparse after %v fault: value %d %v→%v", kind, i, values[i], gotV[i])
+			}
+		}
+	})
+}

@@ -35,12 +35,24 @@ type Server struct {
 // NewServer starts a server on addr (e.g. "127.0.0.1:0") backed by the
 // provider. Close stops it.
 func NewServer(addr string, provider Provider) (*Server, error) {
-	if provider == nil {
-		return nil, errors.New("snmplite: nil provider")
-	}
 	conn, err := net.ListenPacket("udp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("snmplite: listen: %w", err)
+	}
+	s, err := NewServerConn(conn, provider)
+	if err != nil {
+		_ = conn.Close() // constructor failed; nothing else owns the socket
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewServerConn starts a server on an existing packet socket — the
+// injection point chaos harnesses use to wrap the reply path in fault
+// injection. The server owns conn and closes it on Close.
+func NewServerConn(conn net.PacketConn, provider Provider) (*Server, error) {
+	if provider == nil {
+		return nil, errors.New("snmplite: nil provider")
 	}
 	s := &Server{provider: provider, conn: conn, done: make(chan struct{})}
 	go s.serve()
@@ -86,11 +98,14 @@ func (s *Server) serve() {
 }
 
 // handle builds the reply for one datagram; nil drops it (unparseable
-// garbage gets no response, like real SNMP agents behave toward noise).
+// garbage gets no response, like real SNMP agents behave toward noise —
+// and a checksum failure *is* noise: the request id itself may be
+// corrupted, so answering could poison an unrelated exchange; silence
+// makes the client retransmit instead).
 func (s *Server) handle(pkt []byte) []byte {
 	reqID, queries, err := DecodeRequest(pkt)
 	if err != nil {
-		if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTruncated) {
+		if errors.Is(err, ErrBadMagic) || errors.Is(err, ErrTruncated) || errors.Is(err, ErrChecksum) {
 			return nil
 		}
 		return EncodeError(reqID, 1, err.Error())

@@ -7,33 +7,47 @@
 //
 // Wire format (all integers big-endian):
 //
-//	request:  magic(2)="CS" ver(1)=1 op(1) reqID(4) count(2)
-//	          count × { link(4) counter(2) }
+//	request:  magic(2)="CS" ver(1)=2 op(1) reqID(4) count(2)
+//	          count × { link(4) counter(2) }            crc32c(4)
 //	response: magic(2) ver(1) op(1)|0x80 reqID(4) count(2)
-//	          count × { link(4) counter(2) value(8) }
+//	          count × { link(4) counter(2) value(8) }   crc32c(4)
 //	error:    magic(2) ver(1) op=0xFF reqID(4) code(2) msgLen(2) msg
+//	          crc32c(4)
 //
 // Power levels are encoded as centi-dBm in two's complement inside the
 // uint64 value field.
+//
+// Version 2 appends a CRC-32C trailer over everything before it: this
+// monitoring traffic crosses the very links whose corruption it measures
+// (§2, §5), and a bit-flipped counter value must be rejected (and the
+// datagram retransmitted) rather than silently misread as a different
+// error rate. Receivers drop checksum failures like line noise.
 package snmplite
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 )
 
 // Protocol constants.
 const (
-	Version = 1
+	Version = 2
 	// MaxEntries bounds one request/response so responses stay well under
-	// a common 1500-byte MTU: 10 + 90×14 = 1270 bytes.
+	// a common 1500-byte MTU: 10 + 90×14 + 4 = 1274 bytes.
 	MaxEntries = 90
 
 	magic0 = 'C'
 	magic1 = 'S'
+
+	// checksumLen is the CRC-32C trailer appended to every packet.
+	checksumLen = 4
 )
+
+// crcTable is the Castagnoli polynomial, the same one iSCSI and ext4 use.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Op is the operation code of a request.
 type Op uint8
@@ -111,6 +125,9 @@ var (
 	ErrBadMagic   = errors.New("snmplite: bad magic")
 	ErrBadVersion = errors.New("snmplite: unsupported version")
 	ErrTooMany    = errors.New("snmplite: too many entries")
+	// ErrChecksum reports a packet whose CRC-32C trailer does not match —
+	// the signature of in-flight corruption; receivers treat it as loss.
+	ErrChecksum = errors.New("snmplite: checksum mismatch")
 )
 
 // RemoteError is an error reply from the server.
@@ -126,12 +143,31 @@ func (e *RemoteError) Error() string {
 
 const reqHeaderLen = 10
 
+// appendChecksum grows buf by the CRC-32C trailer over its current
+// contents.
+func appendChecksum(buf []byte) []byte {
+	var crc [checksumLen]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(buf, crcTable))
+	return append(buf, crc[:]...)
+}
+
+// verifyChecksum checks the trailer over pkt[:body] stored at pkt[body:].
+// The caller guarantees len(pkt) >= body+checksumLen.
+func verifyChecksum(pkt []byte, body int) error {
+	got := crc32.Checksum(pkt[:body], crcTable)
+	want := binary.BigEndian.Uint32(pkt[body:])
+	if got != want {
+		return fmt.Errorf("%w: computed %08x, trailer says %08x", ErrChecksum, got, want)
+	}
+	return nil
+}
+
 // EncodeRequest serializes a GET request.
 func EncodeRequest(reqID uint32, queries []Query) ([]byte, error) {
 	if len(queries) > MaxEntries {
 		return nil, ErrTooMany
 	}
-	buf := make([]byte, reqHeaderLen+6*len(queries))
+	buf := make([]byte, reqHeaderLen+6*len(queries), reqHeaderLen+6*len(queries)+checksumLen)
 	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, Version, byte(OpGet)
 	binary.BigEndian.PutUint32(buf[4:], reqID)
 	binary.BigEndian.PutUint16(buf[8:], uint16(len(queries)))
@@ -141,7 +177,7 @@ func EncodeRequest(reqID uint32, queries []Query) ([]byte, error) {
 		binary.BigEndian.PutUint16(buf[off+4:], uint16(q.Counter))
 		off += 6
 	}
-	return buf, nil
+	return appendChecksum(buf), nil
 }
 
 // DecodeRequest parses a GET request, returning its id and queries.
@@ -163,8 +199,12 @@ func DecodeRequest(pkt []byte) (reqID uint32, queries []Query, err error) {
 	if n > MaxEntries {
 		return reqID, nil, ErrTooMany
 	}
-	if len(pkt) < reqHeaderLen+6*n {
+	body := reqHeaderLen + 6*n
+	if len(pkt) < body+checksumLen {
 		return reqID, nil, ErrTruncated
+	}
+	if err := verifyChecksum(pkt, body); err != nil {
+		return reqID, nil, err
 	}
 	queries = make([]Query, n)
 	off := reqHeaderLen
@@ -181,7 +221,7 @@ func EncodeResponse(reqID uint32, values []Value) ([]byte, error) {
 	if len(values) > MaxEntries {
 		return nil, ErrTooMany
 	}
-	buf := make([]byte, reqHeaderLen+14*len(values))
+	buf := make([]byte, reqHeaderLen+14*len(values), reqHeaderLen+14*len(values)+checksumLen)
 	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, Version, byte(OpGet)|opResponseFlag
 	binary.BigEndian.PutUint32(buf[4:], reqID)
 	binary.BigEndian.PutUint16(buf[8:], uint16(len(values)))
@@ -192,7 +232,7 @@ func EncodeResponse(reqID uint32, values []Value) ([]byte, error) {
 		binary.BigEndian.PutUint64(buf[off+6:], v.Value)
 		off += 14
 	}
-	return buf, nil
+	return appendChecksum(buf), nil
 }
 
 // EncodeError serializes an error reply.
@@ -200,13 +240,13 @@ func EncodeError(reqID uint32, code uint16, msg string) []byte {
 	if len(msg) > 256 {
 		msg = msg[:256]
 	}
-	buf := make([]byte, 12+len(msg))
+	buf := make([]byte, 12+len(msg), 12+len(msg)+checksumLen)
 	buf[0], buf[1], buf[2], buf[3] = magic0, magic1, Version, byte(OpError)
 	binary.BigEndian.PutUint32(buf[4:], reqID)
 	binary.BigEndian.PutUint16(buf[8:], code)
 	binary.BigEndian.PutUint16(buf[10:], uint16(len(msg)))
 	copy(buf[12:], msg)
-	return buf
+	return appendChecksum(buf)
 }
 
 // DecodeResponse parses a server reply: either values or a *RemoteError.
@@ -227,10 +267,14 @@ func DecodeResponse(pkt []byte) (reqID uint32, values []Value, err error) {
 		}
 		code := binary.BigEndian.Uint16(pkt[8:])
 		msgLen := int(binary.BigEndian.Uint16(pkt[10:]))
-		if len(pkt) < 12+msgLen {
+		body := 12 + msgLen
+		if len(pkt) < body+checksumLen {
 			return reqID, nil, ErrTruncated
 		}
-		return reqID, nil, &RemoteError{Code: code, Msg: string(pkt[12 : 12+msgLen])}
+		if err := verifyChecksum(pkt, body); err != nil {
+			return reqID, nil, err
+		}
+		return reqID, nil, &RemoteError{Code: code, Msg: string(pkt[12:body])}
 	}
 	if Op(pkt[3]) != OpGet|opResponseFlag {
 		return reqID, nil, fmt.Errorf("snmplite: unexpected op %#x in response", pkt[3])
@@ -239,8 +283,12 @@ func DecodeResponse(pkt []byte) (reqID uint32, values []Value, err error) {
 	if n > MaxEntries {
 		return reqID, nil, ErrTooMany
 	}
-	if len(pkt) < reqHeaderLen+14*n {
+	body := reqHeaderLen + 14*n
+	if len(pkt) < body+checksumLen {
 		return reqID, nil, ErrTruncated
+	}
+	if err := verifyChecksum(pkt, body); err != nil {
+		return reqID, nil, err
 	}
 	values = make([]Value, n)
 	off := reqHeaderLen
