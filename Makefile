@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint vet ci race test-race test-chaos cover fuzz bench bench-experiments bench-lint clean
+.PHONY: all build test lint vet ci race test-race test-chaos cover fuzz bench bench-experiments bench-lint bench-check bench-profile clean
 
 all: build test
 
@@ -33,9 +33,13 @@ race:
 
 ## test-race: the simulator and the parallel scenario runner under the race
 ## detector — the pool shares topologies and fault traces across workers, so
-## this is the guard on that immutability contract.
+## this is the guard on that immutability contract. The experiments run
+## covers the scenario-sharded drivers: the global RunMany work list, the
+## memoized topology/trace cache under concurrent misses, and per-worker
+## Scratch reuse.
 test-race:
 	$(GO) test -race ./internal/sim/... ./internal/runner/...
+	$(GO) test -race -run 'TestParallelRunnerDeterminism|TestRunMany' ./internal/experiments
 
 ## test-chaos: the deployment-path chaos matrix (DESIGN.md §7.3) under the
 ## race detector — netchaos fault injection on live TCP/UDP sockets, every
@@ -78,5 +82,20 @@ bench-experiments:
 bench-lint:
 	./scripts/bench.sh lint
 
+## bench-check: enforce the committed performance floors in
+## scripts/bench_floors.txt — per-driver allocs/op ceilings (always) and
+## serial-vs-parallel speedup floors (on machines with at least the
+## recorded reference core count). CI runs this on every push.
+bench-check:
+	./scripts/bench_check.sh
+
+## bench-profile: one profiled steady-state pass over the experiment suite;
+## writes BENCH_cpu.pprof and BENCH_mem.pprof (plus the corropt.test binary
+## needed to read them: `go tool pprof corropt.test BENCH_mem.pprof`).
+bench-profile:
+	$(GO) test -run '^$$' -bench 'ExperimentsSuite' -benchtime=3x \
+		-cpuprofile BENCH_cpu.pprof -memprofile BENCH_mem.pprof .
+
 clean:
 	rm -f BENCH_core.txt BENCH_core.json BENCH_experiments.txt BENCH_experiments.json BENCH_lint.txt BENCH_lint.json
+	rm -f BENCH_cpu.pprof BENCH_mem.pprof corropt.test

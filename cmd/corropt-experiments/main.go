@@ -5,12 +5,15 @@
 //	corropt-experiments -list
 //	corropt-experiments -exp fig14 -scale medium -seed 1 [-o fig14.tsv]
 //	corropt-experiments -exp all -scale small
-//	corropt-experiments -exp fig17 -scale large -workers 16
+//	corropt-experiments -exp fig17,fig19,ticketq -scale large -workers 16
 //
 // Multi-scenario experiments (policy sweeps, the fleet study, the staffing
 // grid) replay their scenarios on a bounded worker pool; -workers bounds the
-// concurrency (default: one worker per CPU). Reports are byte-identical for
-// any -workers value — the flag only changes wall-clock time.
+// concurrency (default: one worker per CPU). When -exp names several
+// experiments (a comma list, or 'all'), their scenarios are flattened into
+// one global work list so the pool load-balances across experiments instead
+// of draining them one at a time. Reports are byte-identical for any
+// -workers value and any batching — the flags only change wall-clock time.
 //
 // Each experiment prints a TSV report: the same rows or series the paper
 // plots, with notes comparing the measured shape against the published one.
@@ -20,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"corropt/internal/experiments"
@@ -74,20 +78,26 @@ func main() {
 		w = f
 	}
 
-	ids := []string{*exp}
+	var ids []string
 	if *exp == "all" {
-		ids = ids[:0]
 		for _, e := range experiments.List() {
 			ids = append(ids, e[0])
 		}
-	}
-	for _, id := range ids {
-		start := time.Now()
-		rep, err := experiments.Run(id, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "corropt-experiments: %s: %v\n", id, err)
-			os.Exit(1)
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
 		}
+	}
+
+	start := time.Now()
+	reps, err := experiments.RunMany(ids, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corropt-experiments: %v\n", err)
+		os.Exit(1)
+	}
+	for _, rep := range reps {
 		var werr error
 		switch *format {
 		case "tsv":
@@ -102,6 +112,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "corropt-experiments: write: %v\n", werr)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "%s done in %v\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Fprintf(os.Stderr, "%s done in %v\n", strings.Join(ids, ","), time.Since(start).Round(time.Millisecond))
 }

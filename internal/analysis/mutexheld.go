@@ -44,6 +44,7 @@ var MutexHeldConfig = []GuardedStruct{
 			"SetCorruption", "RegisterPenalty", "PenaltySum",
 			"setContrib", "penaltyOnToggle", "rebuildPenaltySum",
 			"refreshToR", "refreshToRs", "recomputeViolated", "resetState",
+			"Reset",
 		},
 	},
 }

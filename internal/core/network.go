@@ -103,6 +103,33 @@ func NewNetwork(topo *topology.Topology, c float64) (*Network, error) {
 	return n, nil
 }
 
+// Reset restores n to the state NewNetwork(n.Topology(), c) would
+// construct — every link enabled and healthy, every ToR constrained to c,
+// no penalty function registered — while reusing every allocation,
+// including the path counter (one full incremental re-sweep) and the
+// penalty contribution buffers (parked for the next RegisterPenalty).
+// Pooled simulation scratch resets Networks between scenarios instead of
+// rebuilding them; the scratch differential tests pin that the two paths
+// are observationally identical.
+func (n *Network) Reset(c float64) error {
+	if c < 0 || c > 1 {
+		return fmt.Errorf("core: capacity constraint %v out of [0,1]", c)
+	}
+	n.pc.ResetIncremental(nil)
+	n.numDisabled = 0
+	clear(n.rate)
+	clear(n.constraint)
+	for _, tor := range n.topo.ToRs() {
+		n.constraint[tor] = c
+	}
+	n.recomputeViolated()
+	// Unregister the penalty function but keep the buffers: RegisterPenalty
+	// reuses them.
+	n.penalty = nil
+	n.penaltySum, n.penaltyOps = 0, 0
+	return nil
+}
+
 // Topology returns the underlying immutable topology.
 func (n *Network) Topology() *topology.Topology { return n.topo }
 
@@ -203,8 +230,18 @@ func (n *Network) RegisterPenalty(p PenaltyFunc) {
 		return
 	}
 	n.penalty = p
-	n.contrib = make([]float64, n.topo.NumLinks())
-	n.corrupting = topology.NewLinkSet(n.topo.NumLinks())
+	// Reuse the contribution buffers across registrations: Reset parks them
+	// so a pooled Network's per-scenario RegisterPenalty allocates nothing.
+	if len(n.contrib) == n.topo.NumLinks() {
+		clear(n.contrib)
+	} else {
+		n.contrib = make([]float64, n.topo.NumLinks())
+	}
+	if n.corrupting != nil {
+		n.corrupting.Clear()
+	} else {
+		n.corrupting = topology.NewLinkSet(n.topo.NumLinks())
+	}
 	for l, r := range n.rate {
 		if r > 0 {
 			n.corrupting.Add(topology.LinkID(l))
@@ -275,13 +312,33 @@ func (n *Network) CorruptionRate(l topology.LinkID) float64 { return n.rate[l] }
 // ActiveCorrupting returns the enabled links whose corruption rate is at or
 // above threshold — the set the optimizer works over.
 func (n *Network) ActiveCorrupting(threshold float64) []topology.LinkID {
-	var out []topology.LinkID
+	return n.AppendActiveCorrupting(nil, threshold)
+}
+
+// AppendActiveCorrupting appends the enabled links whose corruption rate is
+// at or above threshold to dst and returns the extended slice. Callers on
+// hot paths pass a retained buffer (dst[:0]) to avoid re-allocating the set
+// on every optimizer run.
+func (n *Network) AppendActiveCorrupting(dst []topology.LinkID, threshold float64) []topology.LinkID {
 	for l := range n.rate {
 		if n.rate[l] >= threshold && !n.disabled.Has(topology.LinkID(l)) {
-			out = append(out, topology.LinkID(l))
+			dst = append(dst, topology.LinkID(l))
 		}
 	}
-	return out
+	return dst
+}
+
+// NumActiveCorrupting counts the enabled links whose corruption rate is at
+// or above threshold, without materializing the set. The simulator's sample
+// path and the control-plane status endpoint only need the count.
+func (n *Network) NumActiveCorrupting(threshold float64) int {
+	count := 0
+	for l := range n.rate {
+		if n.rate[l] >= threshold && !n.disabled.Has(topology.LinkID(l)) {
+			count++
+		}
+	}
+	return count
 }
 
 // meets reports whether ToR tor meets its constraint given per-ToR counts
@@ -381,9 +438,12 @@ func (n *Network) ViolatedToRs(extra map[topology.LinkID]bool) []topology.Switch
 // violatedUnder returns the ToRs violated when, in addition to the current
 // disabled set, every link in extra is disabled — evaluated by incremental
 // Apply probes (one downstream-cone delta per link) instead of a full
-// topology sweep, and fully reverted before returning.
-func (n *Network) violatedUnder(extra []topology.LinkID) []topology.SwitchID {
-	applied := make([]topology.LinkID, 0, len(extra))
+// topology sweep, and fully reverted before returning. applied and out are
+// optional scratch buffers (overwritten from length zero); the result slices
+// alias them, so each caller must own its buffers and must not retain the
+// result past its next call.
+func (n *Network) violatedUnder(extra, applied []topology.LinkID, out []topology.SwitchID) ([]topology.SwitchID, []topology.LinkID) {
+	applied = applied[:0]
 	for _, l := range extra {
 		if !n.disabled.Has(l) {
 			n.pc.Apply(l)
@@ -391,7 +451,7 @@ func (n *Network) violatedUnder(extra []topology.LinkID) []topology.SwitchID {
 		}
 	}
 	counts, total := n.pc.IncCounts(), n.pc.Total()
-	var out []topology.SwitchID
+	out = out[:0]
 	for _, tor := range n.topo.ToRs() {
 		if !n.meets(tor, counts, total) {
 			out = append(out, tor)
@@ -400,7 +460,7 @@ func (n *Network) violatedUnder(extra []topology.LinkID) []topology.SwitchID {
 	for _, l := range applied {
 		n.pc.Revert(l)
 	}
-	return out
+	return out, applied
 }
 
 // FeasibleToRs reports whether every ToR in tors meets its constraint with

@@ -164,3 +164,57 @@ func TestPenaltyFunctions(t *testing.T) {
 		t.Fatal("StepPenalty broken")
 	}
 }
+
+// TestNetworkReset pins that Reset restores a pooled Network to the exact
+// observable state NewNetwork would construct, including after the penalty
+// machinery and disabled set have been exercised.
+func TestNetworkReset(t *testing.T) {
+	topo := smallClos(t)
+	n, _ := NewNetwork(topo, 0.5)
+	n.RegisterPenalty(LinearPenalty)
+	n.Disable(0)
+	n.Disable(3)
+	n.SetCorruption(1, 0.02)
+	n.SetCorruption(3, 0.5)
+	if err := n.SetToRConstraint(topo.ToRs()[0], 0.9); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := n.Reset(2); err == nil {
+		t.Fatal("out-of-range constraint accepted by Reset")
+	}
+	if err := n.Reset(0.5); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := NewNetwork(topo, 0.5)
+	if n.NumDisabled() != 0 || n.Disabled(0) || n.Disabled(3) {
+		t.Fatal("Reset left links disabled")
+	}
+	if n.CorruptionRate(1) != 0 || n.CorruptionRate(3) != 0 {
+		t.Fatal("Reset left corruption rates")
+	}
+	if n.PenaltyRegistered() {
+		t.Fatal("Reset left a penalty function registered")
+	}
+	for _, tor := range topo.ToRs() {
+		if n.Constraint(tor) != fresh.Constraint(tor) {
+			t.Fatalf("ToR %d constraint %v after Reset, want %v",
+				tor, n.Constraint(tor), fresh.Constraint(tor))
+		}
+	}
+	if !n.Feasible(nil) || n.WorstToRFraction() != fresh.WorstToRFraction() {
+		t.Fatal("Reset state differs from a fresh network")
+	}
+
+	// The penalty path must behave identically post-Reset (reused buffers).
+	n.RegisterPenalty(LinearPenalty)
+	fresh.RegisterPenalty(LinearPenalty)
+	for _, net := range []*Network{n, fresh} {
+		net.SetCorruption(2, 0.1)
+		net.Disable(5)
+		net.SetCorruption(5, 0.3)
+	}
+	if n.PenaltySum() != fresh.PenaltySum() {
+		t.Fatalf("penalty sum after Reset: %v, fresh: %v", n.PenaltySum(), fresh.PenaltySum())
+	}
+}

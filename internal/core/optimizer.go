@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"math/bits"
-	"sort"
+	"slices"
 
 	"corropt/internal/topology"
 )
@@ -96,6 +97,21 @@ type Optimizer struct {
 	net     *Network
 	penalty PenaltyFunc
 	cfg     OptimizerConfig
+
+	// Per-Run scratch, reused across invocations: an Optimizer lives for a
+	// whole simulation and Run fires on every repair event, so these
+	// buffers amortize what used to be per-Run allocations. None of them
+	// escape Run — the returned disabled list is always freshly allocated.
+	activeBuf    []topology.LinkID
+	appliedBuf   []topology.LinkID
+	violatedBuf  []topology.SwitchID
+	contestedBuf []topology.LinkID
+	safeBuf      []topology.LinkID
+	torUpBuf     []*topology.LinkSet
+	upstreamBuf  *topology.LinkSet
+	affectedBuf  [][]topology.SwitchID
+	parentBuf    []int
+	walker       topology.UpstreamWalker
 }
 
 // NewOptimizer returns an Optimizer over net minimizing the given penalty.
@@ -112,7 +128,8 @@ func NewOptimizer(net *Network, penalty PenaltyFunc, cfg OptimizerConfig) *Optim
 // along with run statistics.
 func (o *Optimizer) Run(threshold float64) ([]topology.LinkID, OptimizeStats) {
 	var st OptimizeStats
-	active := o.net.ActiveCorrupting(threshold)
+	active := o.net.AppendActiveCorrupting(o.activeBuf[:0], threshold)
+	o.activeBuf = active
 	st.Active = len(active)
 	if len(active) == 0 {
 		return nil, st
@@ -120,14 +137,16 @@ func (o *Optimizer) Run(threshold float64) ([]topology.LinkID, OptimizeStats) {
 
 	// What breaks if everything goes? One incremental probe per active
 	// link, not a full sweep.
-	violated := o.net.violatedUnder(active)
+	violated, applied := o.net.violatedUnder(active, o.appliedBuf, o.violatedBuf)
+	o.violatedBuf, o.appliedBuf = violated, applied
 	if len(violated) == 0 {
-		// Everything can go.
+		// Everything can go. Copy out of the scratch buffer: the returned
+		// list outlives this Run.
 		for _, l := range active {
 			o.net.Disable(l)
 		}
 		st.SafelyDisabled = len(active)
-		return active, st
+		return append([]topology.LinkID(nil), active...), st
 	}
 
 	// Per-endangered-ToR upstream cones as bitsets: torUp[i] holds every
@@ -136,17 +155,24 @@ func (o *Optimizer) Run(threshold float64) ([]topology.LinkID, OptimizeStats) {
 	// tor ⟺ l ∈ upstream(tor) ⟺ tor ∈ downstream(l)) without the
 	// map-based downstream walks of the old implementation.
 	topo := o.net.Topology()
-	torUp := make([]*topology.LinkSet, len(violated))
-	upstream := topology.NewLinkSet(topo.NumLinks())
+	for len(o.torUpBuf) < len(violated) {
+		o.torUpBuf = append(o.torUpBuf, &topology.LinkSet{})
+	}
+	torUp := o.torUpBuf[:len(violated)]
+	if o.upstreamBuf == nil {
+		o.upstreamBuf = &topology.LinkSet{}
+	}
+	upstream := o.upstreamBuf
+	upstream.Reset(topo.NumLinks())
 	for i, tor := range violated {
-		torUp[i] = topology.NewLinkSet(topo.NumLinks())
-		topo.UpstreamLinkSet([]topology.SwitchID{tor}, torUp[i])
+		torUp[i].Reset(topo.NumLinks())
+		o.walker.FromToR(topo, tor, torUp[i])
 		upstream.Union(torUp[i])
 	}
 
-	var safe, contested []topology.LinkID
+	safe, contested := o.safeBuf[:0], o.contestedBuf[:0]
 	if o.cfg.DisablePruning {
-		contested = active
+		contested = append(contested, active...)
 	} else {
 		for _, l := range active {
 			if upstream.Has(l) {
@@ -162,6 +188,7 @@ func (o *Optimizer) Run(threshold float64) ([]topology.LinkID, OptimizeStats) {
 		}
 		st.SafelyDisabled = len(safe)
 	}
+	o.safeBuf, o.contestedBuf = safe, contested
 
 	disabled := append([]topology.LinkID(nil), safe...)
 	segs := o.segments(contested, violated, torUp, &st)
@@ -247,15 +274,31 @@ func (o *Optimizer) segments(contested []topology.LinkID, violated []topology.Sw
 	if len(contested) == 0 {
 		return nil
 	}
-	affected := make([][]topology.SwitchID, len(contested))
+	// affected and parent live in optimizer-owned scratch: segments runs
+	// once per optimizer invocation, and only the per-group link/ToR
+	// slices escape into the returned segments.
+	affected := o.affectedBuf
+	if cap(affected) < len(contested) {
+		affected = make([][]topology.SwitchID, len(contested))
+	} else {
+		affected = affected[:len(contested)]
+	}
+	o.affectedBuf = affected
 	for i, l := range contested {
+		affected[i] = affected[i][:0]
 		for j, tor := range violated {
 			if torUp[j].Has(l) {
 				affected[i] = append(affected[i], tor)
 			}
 		}
 	}
-	parent := make([]int, len(contested))
+	parent := o.parentBuf
+	if cap(parent) < len(contested) {
+		parent = make([]int, len(contested))
+	} else {
+		parent = parent[:len(contested)]
+	}
+	o.parentBuf = parent
 	for i := range parent {
 		parent[i] = i
 	}
@@ -303,7 +346,7 @@ func (o *Optimizer) segments(contested []topology.LinkID, violated []topology.Sw
 	}
 	// Deterministic order for reproducibility (and to keep the map-order
 	// collection above inside maprange's collect-then-sort idiom).
-	sort.Slice(out, func(i, j int) bool { return out[i].links[0] < out[j].links[0] })
+	slices.SortFunc(out, func(a, b segment) int { return cmp.Compare(a.links[0], b.links[0]) })
 	for i := range out {
 		out[i].tors = dedupToRs(out[i].tors)
 		if len(out[i].links) > st.LargestSegment {
@@ -315,7 +358,7 @@ func (o *Optimizer) segments(contested []topology.LinkID, violated []topology.Sw
 }
 
 func dedupToRs(tors []topology.SwitchID) []topology.SwitchID {
-	sort.Slice(tors, func(i, j int) bool { return tors[i] < tors[j] })
+	slices.Sort(tors)
 	out := tors[:0]
 	for i, t := range tors {
 		if i == 0 || t != tors[i-1] {
@@ -342,12 +385,12 @@ func (o *Optimizer) solveSegment(seg segment, pc *topology.PathCounter, st *Opti
 	// Highest-penalty links first: better bounds, and the greedy fallback
 	// then prefers the worst offenders.
 	links := append([]topology.LinkID(nil), seg.links...)
-	sort.Slice(links, func(i, j int) bool {
-		pi, pj := o.penalty(o.net.CorruptionRate(links[i])), o.penalty(o.net.CorruptionRate(links[j]))
-		if pi != pj {
-			return pi > pj
+	slices.SortFunc(links, func(a, b topology.LinkID) int {
+		pa, pb := o.penalty(o.net.CorruptionRate(a)), o.penalty(o.net.CorruptionRate(b))
+		if pa != pb {
+			return cmp.Compare(pb, pa)
 		}
-		return links[i] < links[j]
+		return cmp.Compare(a, b)
 	})
 
 	if len(links) > o.cfg.MaxExactLinks {

@@ -254,7 +254,7 @@ func (c *Controller) dispatch(msg *Envelope) *Envelope {
 		return &Envelope{Type: TypeStatusResult, Status: &StatusResult{
 			Links:            net.Topology().NumLinks(),
 			Disabled:         net.NumDisabled(),
-			ActiveCorrupting: len(net.ActiveCorrupting(c.engine.Threshold())),
+			ActiveCorrupting: net.NumActiveCorrupting(c.engine.Threshold()),
 			WorstToRFraction: net.WorstToRFraction(),
 			TotalPenalty:     net.TotalPenalty(core.LinearPenalty),
 			Agents:           len(c.agents),

@@ -4,13 +4,12 @@ import (
 	"fmt"
 	"time"
 
-	"corropt/internal/runner"
 	"corropt/internal/sim"
 	"corropt/internal/stats"
 )
 
 func init() {
-	register("ext8", "§8 future extensions: drain-instead-of-disable and repair collateral", ext8)
+	registerSharded("ext8", "§8 future extensions: drain-instead-of-disable and repair collateral", ext8)
 }
 
 // ext8 quantifies the two §8 extensions this implementation includes:
@@ -24,32 +23,13 @@ func init() {
 //   - Repair collateral ("accounting for the impact of repair"): repairing
 //     one link of a breakout cable takes its healthy siblings down for the
 //     service window, costing capacity that the basic model ignores.
-func ext8(cfg Config) (*Report, error) {
-	r := &Report{
-		ID:     "ext8",
-		Title:  "§8 extensions: drain mode and repair collateral",
-		Header: []string{"variant", "integrated_penalty", "tickets", "mean_tor_fraction", "min_worst_tor_fraction"},
-	}
-	scale := cfg.Scale
-	topo, trace, horizon, err := evalTrace(cfg, "ext8", scale)
+func ext8(cfg Config) (*plan, error) {
+	topo, trace, horizon, err := evalTrace(cfg, "ext8", cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
-	row := func(name string, res *sim.Result) {
-		var fracs []float64
-		worst := 1.0
-		for _, smp := range res.Samples {
-			fracs = append(fracs, smp.MeanToRFraction)
-			if smp.WorstToRFraction < worst {
-				worst = smp.WorstToRFraction
-			}
-		}
-		r.AddRow(name, fmtF(res.IntegratedPenalty), fmt.Sprintf("%d", res.TicketsOpened),
-			fmtF(stats.Mean(fracs)), fmtF(worst))
-	}
-
 	// The four §8 variants replay the same trace independently; fan them
-	// out on the worker pool and emit rows in the fixed variant order.
+	// out and emit rows in the fixed variant order.
 	variants := []struct {
 		name              string
 		drain, collateral bool
@@ -59,32 +39,51 @@ func ext8(cfg Config) (*Report, error) {
 		{"repair collateral modeled", false, true},
 		{"drain + collateral", true, true},
 	}
-	results, err := runner.Map(cfg.Workers, len(variants), func(i int) (*sim.Result, error) {
-		s, err := sim.New(topo, DefaultTech(), sim.Config{
-			Policy:           sim.PolicyCorrOpt,
-			Capacity:         0.75,
-			FixedAccuracy:    0.5, // frequent repair failures make the cycle visible
-			DetectionDelay:   15 * time.Minute,
-			DrainMode:        variants[i].drain,
-			RepairCollateral: variants[i].collateral,
-			Seed:             cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return s.Run(trace, horizon)
-	})
-	if err != nil {
-		return nil, err
-	}
+	scenarios := make([]simScenario, len(variants))
 	for i, v := range variants {
-		row(v.name, results[i])
+		scenarios[i] = simScenario{run: func(sc *sim.Scratch) (*sim.Result, error) {
+			s, err := sim.NewWithScratch(topo, DefaultTech(), sim.Config{
+				Policy:           sim.PolicyCorrOpt,
+				Capacity:         0.75,
+				FixedAccuracy:    0.5, // frequent repair failures make the cycle visible
+				DetectionDelay:   15 * time.Minute,
+				DrainMode:        v.drain,
+				RepairCollateral: v.collateral,
+				Seed:             cfg.Seed,
+			}, sc)
+			if err != nil {
+				return nil, err
+			}
+			return s.Run(trace, horizon)
+		}}
 	}
-	base, drained := results[0], results[1]
-
-	if base.IntegratedPenalty > 0 {
-		r.AddNote("drain mode removes the failed-repair re-exposure: penalty ratio %.3g vs the enable/disable cycle", drained.IntegratedPenalty/base.IntegratedPenalty)
+	finish := func(results []*sim.Result) (*Report, error) {
+		r := &Report{
+			ID:     "ext8",
+			Title:  "§8 extensions: drain mode and repair collateral",
+			Header: []string{"variant", "integrated_penalty", "tickets", "mean_tor_fraction", "min_worst_tor_fraction"},
+		}
+		row := func(name string, res *sim.Result) {
+			var fracs []float64
+			worst := 1.0
+			for _, smp := range res.Samples {
+				fracs = append(fracs, smp.MeanToRFraction)
+				if smp.WorstToRFraction < worst {
+					worst = smp.WorstToRFraction
+				}
+			}
+			r.AddRow(name, fmtF(res.IntegratedPenalty), fmt.Sprintf("%d", res.TicketsOpened),
+				fmtF(stats.Mean(fracs)), fmtF(worst))
+		}
+		for i, v := range variants {
+			row(v.name, results[i])
+		}
+		base, drained := results[0], results[1]
+		if base.IntegratedPenalty > 0 {
+			r.AddNote("drain mode removes the failed-repair re-exposure: penalty ratio %.3g vs the enable/disable cycle", drained.IntegratedPenalty/base.IntegratedPenalty)
+		}
+		r.AddNote("collateral repair lowers the mean ToR path fraction by taking healthy breakout siblings down during service windows")
+		return r, nil
 	}
-	r.AddNote("collateral repair lowers the mean ToR path fraction by taking healthy breakout siblings down during service windows")
-	return r, nil
+	return &plan{scenarios: scenarios, finish: finish}, nil
 }

@@ -3,19 +3,14 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"time"
 
-	"corropt/internal/faults"
 	"corropt/internal/optics"
-	"corropt/internal/rngutil"
-	"corropt/internal/runner"
 	"corropt/internal/sim"
 	"corropt/internal/stats"
-	"corropt/internal/topology"
 )
 
 func init() {
-	register("fleet", "§7.2 deployment scale: the recommendation engine across 70 DCNs of different sizes", fleet)
+	registerSharded("fleet", "§7.2 deployment scale: the recommendation engine across 70 DCNs of different sizes", fleet)
 }
 
 // fleet reproduces the deployment dimension of §7.2: the recommendation
@@ -25,91 +20,78 @@ func init() {
 // conditions (30% of recommendations ignored, a quarter of switch types
 // without optical data) and report the per-DCN distribution of repair
 // accuracy and ticket volume.
-func fleet(cfg Config) (*Report, error) {
-	r := &Report{
-		ID:     "fleet",
-		Title:  "Recommendation engine across a fleet of DCNs (deployed conditions)",
-		Header: []string{"quantity", "p10", "median", "p90", "mean"},
-	}
+//
+// Each fleet member is a fully independent DCN — its own topology,
+// technology mix, fault trace, and simulation, all derived from a
+// per-index rngutil substream. That makes the 70-DCN study the fan-out
+// case the runner exists for: one scenario per DCN, results collected in
+// DCN order so the aggregate statistics are byte-identical for any worker
+// count. Member topologies and traces are built inside the scenarios (not
+// in the planner) so cold-cache construction still parallelizes; the memo
+// layer dedups repeat builds across runs.
+func fleet(cfg Config) (*plan, error) {
 	nDCNs := 70
 	if cfg.Scale == ScaleSmall {
 		nDCNs = 12
 	}
-	horizon := 90 * 24 * time.Hour
-	root := rngutil.New(cfg.Seed).Split("fleet")
 	techs := optics.DefaultTechnologies()
-
-	// Each fleet member is a fully independent DCN — its own topology,
-	// technology mix, fault trace, and simulation, all derived from a
-	// per-index rngutil substream. That makes the 70-DCN study the
-	// fan-out case the runner exists for: one scenario per DCN, results
-	// collected in DCN order so the aggregate statistics are byte-identical
-	// for any worker count.
-	results, err := runner.Map(cfg.Workers, nDCNs, func(i int) (*sim.Result, error) {
-		rng := root.SplitIndex("dcn", i)
-		pods := 2 + rng.Intn(10)
-		topo, err := topology.NewClos(topology.ClosConfig{
-			Pods: pods, ToRsPerPod: 4 + rng.Intn(8), AggsPerPod: 4,
-			Spines: 16, SpineUplinksPerAgg: 4 + 2*rng.Intn(3), BreakoutSize: 4,
-		})
-		if err != nil {
-			return nil, err
-		}
-		assign := func(l topology.LinkID) optics.Technology {
-			return techs[(int(l)+i)%len(techs)]
-		}
-		inj, err := faults.NewMultiTechInjector(topo, assign,
-			faults.InjectorConfig{FaultsPerLinkPerDay: rng.Range(1, 4) / 4500},
-			rng.Split("faults"))
-		if err != nil {
-			return nil, err
-		}
-		s, err := sim.New(topo, techs[0], sim.Config{
-			Policy:            sim.PolicyCorrOpt,
-			Capacity:          0.5,
-			Repair:            sim.RepairRecommendation,
-			IgnoreProb:        0.3,
-			NoOpticsFraction:  0.25,
-			UseDeployedEngine: true,
-			TechAssign:        assign,
-			Seed:              rng.Split("sim").Seed(),
-		})
-		if err != nil {
-			return nil, err
-		}
-		return s.Run(inj.Generate(horizon), horizon)
-	})
-	if err != nil {
-		return nil, err
+	scenarios := make([]simScenario, nDCNs)
+	for i := range scenarios {
+		scenarios[i] = simScenario{run: func(sc *sim.Scratch) (*sim.Result, error) {
+			m, err := cachedFleetMember(cfg.Seed, i)
+			if err != nil {
+				return nil, err
+			}
+			s, err := sim.NewWithScratch(m.topo, techs[0], sim.Config{
+				Policy:            sim.PolicyCorrOpt,
+				Capacity:          0.5,
+				Repair:            sim.RepairRecommendation,
+				IgnoreProb:        0.3,
+				NoOpticsFraction:  0.25,
+				UseDeployedEngine: true,
+				TechAssign:        fleetAssign(techs, i),
+				Seed:              m.simSeed,
+			}, sc)
+			if err != nil {
+				return nil, err
+			}
+			return s.Run(m.trace, m.horizon)
+		}}
 	}
-
-	var accuracies, tickets, attempts []float64
-	totalTickets := 0
-	for _, res := range results {
-		if res.TicketsOpened == 0 {
-			continue // a tiny quiet DCN contributes no repair statistics
+	finish := func(results []*sim.Result) (*Report, error) {
+		r := &Report{
+			ID:     "fleet",
+			Title:  "Recommendation engine across a fleet of DCNs (deployed conditions)",
+			Header: []string{"quantity", "p10", "median", "p90", "mean"},
 		}
-		accuracies = append(accuracies, res.FirstAttemptSuccessRate)
-		tickets = append(tickets, float64(res.TicketsOpened))
-		attempts = append(attempts, res.MeanAttempts)
-		totalTickets += res.TicketsOpened
+		var accuracies, tickets, attempts []float64
+		totalTickets := 0
+		for _, res := range results {
+			if res.TicketsOpened == 0 {
+				continue // a tiny quiet DCN contributes no repair statistics
+			}
+			accuracies = append(accuracies, res.FirstAttemptSuccessRate)
+			tickets = append(tickets, float64(res.TicketsOpened))
+			attempts = append(attempts, res.MeanAttempts)
+			totalTickets += res.TicketsOpened
+		}
+		if len(accuracies) == 0 {
+			return nil, fmt.Errorf("experiments: fleet produced no tickets")
+		}
+		row := func(name string, xs []float64) {
+			sort.Float64s(xs)
+			p10, _ := stats.Quantile(xs, 0.1)
+			med, _ := stats.Quantile(xs, 0.5)
+			p90, _ := stats.Quantile(xs, 0.9)
+			r.AddRow(name, fmtF(p10), fmtF(med), fmtF(p90), fmtF(stats.Mean(xs)))
+		}
+		row("first-attempt success rate", accuracies)
+		row("tickets per DCN (3 months)", tickets)
+		row("mean repair attempts", attempts)
+		r.AddNote("%d of %d simulated DCNs produced tickets; %d tickets fleet-wide (paper: ~2000 across 70 DCNs in the same window)",
+			len(accuracies), nDCNs, totalTickets)
+		r.AddNote("deployed conditions: simplified engine, 30%% of recommendations ignored, 25%% of links without optical data; paper measured 58%% overall success in this regime")
+		return r, nil
 	}
-	if len(accuracies) == 0 {
-		return nil, fmt.Errorf("experiments: fleet produced no tickets")
-	}
-
-	row := func(name string, xs []float64) {
-		sort.Float64s(xs)
-		p10, _ := stats.Quantile(xs, 0.1)
-		med, _ := stats.Quantile(xs, 0.5)
-		p90, _ := stats.Quantile(xs, 0.9)
-		r.AddRow(name, fmtF(p10), fmtF(med), fmtF(p90), fmtF(stats.Mean(xs)))
-	}
-	row("first-attempt success rate", accuracies)
-	row("tickets per DCN (3 months)", tickets)
-	row("mean repair attempts", attempts)
-	r.AddNote("%d of %d simulated DCNs produced tickets; %d tickets fleet-wide (paper: ~2000 across 70 DCNs in the same window)",
-		len(accuracies), nDCNs, totalTickets)
-	r.AddNote("deployed conditions: simplified engine, 30%% of recommendations ignored, 25%% of links without optical data; paper measured 58%% overall success in this regime")
-	return r, nil
+	return &plan{scenarios: scenarios, finish: finish}, nil
 }

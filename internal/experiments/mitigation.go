@@ -16,11 +16,11 @@ import (
 func init() {
 	register("fig10", "switch-local vs optimal disabling on the five-uplink example", fig10)
 	register("fig11", "topology pruning example", fig11)
-	register("fig14", "total penalty per second over time: switch-local vs CorrOpt (c=75%)", fig14)
-	register("fig1516", "worst ToR's available-path fraction at c=75% and c=50%", fig1516)
-	register("fig17", "integrated penalty ratio CorrOpt/switch-local across capacity constraints", fig17)
+	registerSharded("fig14", "total penalty per second over time: switch-local vs CorrOpt (c=75%)", fig14)
+	registerSharded("fig1516", "worst ToR's available-path fraction at c=75% and c=50%", fig1516)
+	registerSharded("fig17", "integrated penalty ratio CorrOpt/switch-local across capacity constraints", fig17)
 	register("fig18", "optimizer gain over fast checker alone", fig18)
-	register("fig19", "impact of repair accuracy (80% vs 50%) on penalty", fig19)
+	registerSharded("fig19", "impact of repair accuracy (80% vs 50%) on penalty", fig19)
 	register("sec72", "repair recommendation accuracy: legacy vs deployed vs followed", sec72)
 	register("sec73", "combined impact: losses and capacity cost vs current practice", sec73)
 }
@@ -33,35 +33,31 @@ func evalHorizon(scale Scale) time.Duration {
 	return 90 * 24 * time.Hour
 }
 
-// runPolicy traces one policy over the standard evaluation workload.
-func runPolicy(topo *topology.Topology, trace []*faults.Fault, horizon time.Duration,
+// runPolicy traces one policy over the standard evaluation workload,
+// reusing the worker's Scratch when one is supplied (nil means fresh
+// allocation — the serial drivers pass a local Scratch of their own).
+func runPolicy(sc *sim.Scratch, topo *topology.Topology, trace []*faults.Fault, horizon time.Duration,
 	policy sim.PolicyKind, capacity, accuracy float64, seed uint64) (*sim.Result, error) {
-	s, err := sim.New(topo, DefaultTech(), sim.Config{
+	s, err := sim.NewWithScratch(topo, DefaultTech(), sim.Config{
 		Policy:        policy,
 		Capacity:      capacity,
 		FixedAccuracy: accuracy,
 		Seed:          seed,
-	})
+	}, sc)
 	if err != nil {
 		return nil, err
 	}
 	return s.Run(trace, horizon)
 }
 
-// evalTrace generates the shared fault trace for one scale.
+// evalTrace returns the shared fault trace for one scale, memoized by
+// (seed, name, scale) so repeated runs in one process build it once.
 func evalTrace(cfg Config, name string, scale Scale) (*topology.Topology, []*faults.Fault, time.Duration, error) {
-	topo, err := DCN(scale)
+	e, err := cachedEvalTrace(cfg.Seed, name, scale)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	horizon := evalHorizon(scale)
-	inj, err := faults.NewInjector(topo, DefaultTech(),
-		faults.InjectorConfig{FaultsPerLinkPerDay: FaultRate(scale)},
-		rngutil.New(cfg.Seed).Split(name))
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	return topo, inj.Generate(horizon), horizon, nil
+	return e.topo, e.trace, e.horizon, nil
 }
 
 // fig10 reproduces Figure 10 exactly: ToR T with five uplinks to
@@ -194,45 +190,43 @@ func fig11(Config) (*Report, error) {
 // switch-local and CorrOpt at c=75%. The switch-local line stays flat and
 // high (a persistent set of corrupting links it cannot disable); CorrOpt's
 // hugs zero.
-func fig14(cfg Config) (*Report, error) {
-	r := &Report{
-		ID:     "fig14",
-		Title:  "Total penalty per second over time (c=75%)",
-		Header: []string{"dcn", "hour", "switch_local", "corropt"},
-	}
+func fig14(cfg Config) (*plan, error) {
 	dcns, err := evalDCNs(cfg, "fig14")
 	if err != nil {
 		return nil, err
 	}
-	// One scenario per DCN × policy, replayed concurrently on the worker
-	// pool; scenarios of the same DCN share its immutable topology and
-	// trace.
+	// One scenario per DCN × policy; scenarios of the same DCN share its
+	// immutable topology and trace.
 	var scenarios []simScenario
 	for _, d := range dcns {
 		for _, p := range []sim.PolicyKind{sim.PolicySwitchLocal, sim.PolicyCorrOpt} {
-			scenarios = append(scenarios, simScenario{d.topo, d.trace, d.horizon, p, 0.75, 0.8, cfg.Seed})
+			scenarios = append(scenarios, policyScenario(d.topo, d.trace, d.horizon, p, 0.75, 0.8, cfg.Seed))
 		}
 	}
-	results, err := runScenarios(cfg.Workers, scenarios)
-	if err != nil {
-		return nil, err
-	}
-	for i, d := range dcns {
-		scale, topo := d.scale, d.topo
-		sl, co := results[2*i], results[2*i+1]
-		step := len(co.Samples) / 120
-		if step == 0 {
-			step = 1
+	finish := func(results []*sim.Result) (*Report, error) {
+		r := &Report{
+			ID:     "fig14",
+			Title:  "Total penalty per second over time (c=75%)",
+			Header: []string{"dcn", "hour", "switch_local", "corropt"},
 		}
-		for i := 0; i < len(co.Samples) && i < len(sl.Samples); i += step {
-			r.AddRow(scale.String(), fmt.Sprintf("%d", int(co.Samples[i].At/time.Hour)),
-				fmtF(sl.Samples[i].Penalty), fmtF(co.Samples[i].Penalty))
+		for i, d := range dcns {
+			scale, topo := d.scale, d.topo
+			sl, co := results[2*i], results[2*i+1]
+			step := len(co.Samples) / 120
+			if step == 0 {
+				step = 1
+			}
+			for i := 0; i < len(co.Samples) && i < len(sl.Samples); i += step {
+				r.AddRow(scale.String(), fmt.Sprintf("%d", int(co.Samples[i].At/time.Hour)),
+					fmtF(sl.Samples[i].Penalty), fmtF(co.Samples[i].Penalty))
+			}
+			r.AddNote("%s DCN (%d links): integrated penalty switch-local %.4g vs corropt %.4g",
+				scale, topo.NumLinks(), sl.IntegratedPenalty, co.IntegratedPenalty)
 		}
-		r.AddNote("%s DCN (%d links): integrated penalty switch-local %.4g vs corropt %.4g",
-			scale, topo.NumLinks(), sl.IntegratedPenalty, co.IntegratedPenalty)
+		r.AddNote("paper: switch-local is flat and orders of magnitude above CorrOpt")
+		return r, nil
 	}
-	r.AddNote("paper: switch-local is flat and orders of magnitude above CorrOpt")
-	return r, nil
+	return &plan{scenarios: scenarios, finish: finish}, nil
 }
 
 // evalScales picks the DCN sizes to sweep: the paper uses its medium and
@@ -248,72 +242,66 @@ func evalScales(s Scale) []Scale {
 // available spine paths over time under both methods, at c=75% and c=50%.
 // CorrOpt rides the capacity limit when it needs to; switch-local stays
 // needlessly high because it cannot disable enough links.
-func fig1516(cfg Config) (*Report, error) {
-	r := &Report{
-		ID:     "fig1516",
-		Title:  "Worst ToR's available-path fraction over time",
-		Header: []string{"dcn", "capacity", "hour", "switch_local", "corropt"},
-	}
+func fig1516(cfg Config) (*plan, error) {
 	dcns, err := evalDCNs(cfg, "fig1516")
 	if err != nil {
 		return nil, err
 	}
 	capacities := []float64{0.75, 0.50}
 	// DCN × capacity × policy scenarios, all independent: fan the whole
-	// grid out on the worker pool and reassemble in order.
+	// grid out and reassemble in order.
 	var scenarios []simScenario
 	for _, d := range dcns {
 		for _, c := range capacities {
 			for _, p := range []sim.PolicyKind{sim.PolicySwitchLocal, sim.PolicyCorrOpt} {
-				scenarios = append(scenarios, simScenario{d.topo, d.trace, d.horizon, p, c, 0.8, cfg.Seed})
+				scenarios = append(scenarios, policyScenario(d.topo, d.trace, d.horizon, p, c, 0.8, cfg.Seed))
 			}
 		}
 	}
-	results, err := runScenarios(cfg.Workers, scenarios)
-	if err != nil {
-		return nil, err
-	}
-	for di, d := range dcns {
-		scale := d.scale
-		for ci, c := range capacities {
-			base := 2 * (di*len(capacities) + ci)
-			sl, co := results[base], results[base+1]
-			step := len(co.Samples) / 60
-			if step == 0 {
-				step = 1
-			}
-			worstCo, worstSl := 1.0, 1.0
-			for i := 0; i < len(co.Samples) && i < len(sl.Samples); i += step {
-				r.AddRow(scale.String(), fmt.Sprintf("%.0f%%", 100*c),
-					fmt.Sprintf("%d", int(co.Samples[i].At/time.Hour)),
-					fmtF(sl.Samples[i].WorstToRFraction), fmtF(co.Samples[i].WorstToRFraction))
-			}
-			for _, s := range co.Samples {
-				if s.WorstToRFraction < worstCo {
-					worstCo = s.WorstToRFraction
-				}
-			}
-			for _, s := range sl.Samples {
-				if s.WorstToRFraction < worstSl {
-					worstSl = s.WorstToRFraction
-				}
-			}
-			r.AddNote("%s c=%.0f%%: minimum worst-ToR fraction corropt %.3f (rides the limit), switch-local %.3f", scale, 100*c, worstCo, worstSl)
+	finish := func(results []*sim.Result) (*Report, error) {
+		r := &Report{
+			ID:     "fig1516",
+			Title:  "Worst ToR's available-path fraction over time",
+			Header: []string{"dcn", "capacity", "hour", "switch_local", "corropt"},
 		}
+		for di, d := range dcns {
+			scale := d.scale
+			for ci, c := range capacities {
+				base := 2 * (di*len(capacities) + ci)
+				sl, co := results[base], results[base+1]
+				step := len(co.Samples) / 60
+				if step == 0 {
+					step = 1
+				}
+				worstCo, worstSl := 1.0, 1.0
+				for i := 0; i < len(co.Samples) && i < len(sl.Samples); i += step {
+					r.AddRow(scale.String(), fmt.Sprintf("%.0f%%", 100*c),
+						fmt.Sprintf("%d", int(co.Samples[i].At/time.Hour)),
+						fmtF(sl.Samples[i].WorstToRFraction), fmtF(co.Samples[i].WorstToRFraction))
+				}
+				for _, s := range co.Samples {
+					if s.WorstToRFraction < worstCo {
+						worstCo = s.WorstToRFraction
+					}
+				}
+				for _, s := range sl.Samples {
+					if s.WorstToRFraction < worstSl {
+						worstSl = s.WorstToRFraction
+					}
+				}
+				r.AddNote("%s c=%.0f%%: minimum worst-ToR fraction corropt %.3f (rides the limit), switch-local %.3f", scale, 100*c, worstCo, worstSl)
+			}
+		}
+		return r, nil
 	}
-	return r, nil
+	return &plan{scenarios: scenarios, finish: finish}, nil
 }
 
 // fig17 reproduces Figure 17: the integrated penalty of CorrOpt divided by
 // switch-local's, for capacity constraints from lax to demanding. At 25%
 // both disable everything (ratio 1); at 50–75% CorrOpt wins by orders of
 // magnitude.
-func fig17(cfg Config) (*Report, error) {
-	r := &Report{
-		ID:     "fig17",
-		Title:  "Integrated penalty ratio CorrOpt/switch-local vs capacity constraint",
-		Header: []string{"dcn", "capacity", "ratio", "corropt_penalty", "switch_local_penalty"},
-	}
+func fig17(cfg Config) (*plan, error) {
 	dcns, err := evalDCNs(cfg, "fig17")
 	if err != nil {
 		return nil, err
@@ -325,29 +313,33 @@ func fig17(cfg Config) (*Report, error) {
 	for _, d := range dcns {
 		for _, c := range capacities {
 			for _, p := range []sim.PolicyKind{sim.PolicySwitchLocal, sim.PolicyCorrOpt} {
-				scenarios = append(scenarios, simScenario{d.topo, d.trace, d.horizon, p, c, 0.8, cfg.Seed})
+				scenarios = append(scenarios, policyScenario(d.topo, d.trace, d.horizon, p, c, 0.8, cfg.Seed))
 			}
 		}
 	}
-	results, err := runScenarios(cfg.Workers, scenarios)
-	if err != nil {
-		return nil, err
-	}
-	for di, d := range dcns {
-		scale := d.scale
-		for ci, c := range capacities {
-			base := 2 * (di*len(capacities) + ci)
-			sl, co := results[base], results[base+1]
-			ratio := "0"
-			if sl.IntegratedPenalty > 0 {
-				ratio = fmtF(co.IntegratedPenalty / sl.IntegratedPenalty)
-			}
-			r.AddRow(scale.String(), fmt.Sprintf("%.0f%%", 100*c), ratio,
-				fmtF(co.IntegratedPenalty), fmtF(sl.IntegratedPenalty))
+	finish := func(results []*sim.Result) (*Report, error) {
+		r := &Report{
+			ID:     "fig17",
+			Title:  "Integrated penalty ratio CorrOpt/switch-local vs capacity constraint",
+			Header: []string{"dcn", "capacity", "ratio", "corropt_penalty", "switch_local_penalty"},
 		}
+		for di, d := range dcns {
+			scale := d.scale
+			for ci, c := range capacities {
+				base := 2 * (di*len(capacities) + ci)
+				sl, co := results[base], results[base+1]
+				ratio := "0"
+				if sl.IntegratedPenalty > 0 {
+					ratio = fmtF(co.IntegratedPenalty / sl.IntegratedPenalty)
+				}
+				r.AddRow(scale.String(), fmt.Sprintf("%.0f%%", 100*c), ratio,
+					fmtF(co.IntegratedPenalty), fmtF(sl.IntegratedPenalty))
+			}
+		}
+		r.AddNote("paper: ratio ≈ 1 at c=25%%; drops to ~0 on the medium DCN at 50%%; 1e-3 to 1e-6 at 75%%")
+		return r, nil
 	}
-	r.AddNote("paper: ratio ≈ 1 at c=25%%; drops to ~0 on the medium DCN at 50%%; 1e-3 to 1e-6 at 75%%")
-	return r, nil
+	return &plan{scenarios: scenarios, finish: finish}, nil
 }
 
 // fig18 reproduces Figure 18: how much the optimizer adds on top of the
@@ -368,11 +360,14 @@ func fig18(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	co, err := runPolicy(topo, trace, horizon, sim.PolicyCorrOpt, 0.75, 0.8, cfg.Seed)
+	// Serial driver: both replays share one local Scratch (the second Run
+	// reuses the first's event queue and per-topology state).
+	sc := sim.NewScratch()
+	co, err := runPolicy(sc, topo, trace, horizon, sim.PolicyCorrOpt, 0.75, 0.8, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	fo, err := runPolicy(topo, trace, horizon, sim.PolicyFastOnly, 0.75, 0.8, cfg.Seed)
+	fo, err := runPolicy(sc, topo, trace, horizon, sim.PolicyFastOnly, 0.75, 0.8, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -421,12 +416,7 @@ func fig18(cfg Config) (*Report, error) {
 // corruption losses, because faster repairs put healthy links back sooner,
 // letting more corrupting links be disabled. Ratio of integrated penalty
 // with 80% vs 50% first-attempt repair accuracy, across constraints.
-func fig19(cfg Config) (*Report, error) {
-	r := &Report{
-		ID:     "fig19",
-		Title:  "Penalty ratio with CorrOpt recommendations (80% accuracy) vs without (50%)",
-		Header: []string{"dcn", "capacity", "ratio"},
-	}
+func fig19(cfg Config) (*plan, error) {
 	dcns, err := evalDCNs(cfg, "fig19")
 	if err != nil {
 		return nil, err
@@ -437,27 +427,31 @@ func fig19(cfg Config) (*Report, error) {
 	for _, d := range dcns {
 		for _, c := range capacities {
 			for _, a := range accuracies {
-				scenarios = append(scenarios, simScenario{d.topo, d.trace, d.horizon, sim.PolicyCorrOpt, c, a, cfg.Seed})
+				scenarios = append(scenarios, policyScenario(d.topo, d.trace, d.horizon, sim.PolicyCorrOpt, c, a, cfg.Seed))
 			}
 		}
 	}
-	results, err := runScenarios(cfg.Workers, scenarios)
-	if err != nil {
-		return nil, err
-	}
-	for di, d := range dcns {
-		for ci, c := range capacities {
-			base := 2 * (di*len(capacities) + ci)
-			good, bad := results[base], results[base+1]
-			ratio := 1.0
-			if bad.IntegratedPenalty > 0 {
-				ratio = good.IntegratedPenalty / bad.IntegratedPenalty
-			}
-			r.AddRow(d.scale.String(), fmt.Sprintf("%.0f%%", 100*c), fmtF(ratio))
+	finish := func(results []*sim.Result) (*Report, error) {
+		r := &Report{
+			ID:     "fig19",
+			Title:  "Penalty ratio with CorrOpt recommendations (80% accuracy) vs without (50%)",
+			Header: []string{"dcn", "capacity", "ratio"},
 		}
+		for di, d := range dcns {
+			for ci, c := range capacities {
+				base := 2 * (di*len(capacities) + ci)
+				good, bad := results[base], results[base+1]
+				ratio := 1.0
+				if bad.IntegratedPenalty > 0 {
+					ratio = good.IntegratedPenalty / bad.IntegratedPenalty
+				}
+				r.AddRow(d.scale.String(), fmt.Sprintf("%.0f%%", 100*c), fmtF(ratio))
+			}
+		}
+		r.AddNote("paper: ~30%% lower corruption losses at c=75%% from recommendations alone")
+		return r, nil
 	}
-	r.AddNote("paper: ~30%% lower corruption losses at c=75%% from recommendations alone")
-	return r, nil
+	return &plan{scenarios: scenarios, finish: finish}, nil
 }
 
 // sec72 reproduces §7.2's deployment analysis: first-attempt repair success
@@ -488,8 +482,10 @@ func sec72(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	trace := inj.Generate(horizon)
+	// Serial driver: the three settings replay through one local Scratch.
+	sc := sim.NewScratch()
 	run := func(ignoreProb, noOptics float64, deployed bool) (*sim.Result, error) {
-		s, err := sim.New(topo, DefaultTech(), sim.Config{
+		s, err := sim.NewWithScratch(topo, DefaultTech(), sim.Config{
 			Policy:            sim.PolicyCorrOpt,
 			Capacity:          0.5,
 			Repair:            sim.RepairRecommendation,
@@ -498,7 +494,7 @@ func sec72(cfg Config) (*Report, error) {
 			NoOpticsFraction:  noOptics,
 			TechAssign:        assign,
 			Seed:              cfg.Seed,
-		})
+		}, sc)
 		if err != nil {
 			return nil, err
 		}
@@ -537,16 +533,18 @@ func sec73(cfg Config) (*Report, error) {
 		Title:  "Combined impact vs current practice (c=75%)",
 		Header: []string{"dcn", "quantity", "current_practice", "corropt", "paper"},
 	}
+	// Serial driver: every scale's pair of replays shares one local Scratch.
+	sc := sim.NewScratch()
 	for _, scale := range evalScales(cfg.Scale) {
 		topo, trace, horizon, err := evalTrace(cfg, "sec73-"+scale.String(), scale)
 		if err != nil {
 			return nil, err
 		}
-		current, err := runPolicy(topo, trace, horizon, sim.PolicySwitchLocal, 0.75, 0.5, cfg.Seed)
+		current, err := runPolicy(sc, topo, trace, horizon, sim.PolicySwitchLocal, 0.75, 0.5, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		corropt, err := runPolicy(topo, trace, horizon, sim.PolicyCorrOpt, 0.75, 0.8, cfg.Seed)
+		corropt, err := runPolicy(sc, topo, trace, horizon, sim.PolicyCorrOpt, 0.75, 0.8, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}

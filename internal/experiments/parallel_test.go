@@ -25,6 +25,10 @@ func renderReport(t *testing.T, id string, cfg Config) []byte {
 // Workers=8, given the same seed. This is what allows -workers to be a pure
 // wall-clock knob.
 func TestParallelRunnerDeterminism(t *testing.T) {
+	// Note: the two renders per id also pin the memo layer — the first
+	// render builds each topology and trace (cold cache), the second reuses
+	// the cached copies, and the byte-equality check proves a cache hit is
+	// indistinguishable from a rebuild.
 	if testing.Short() {
 		t.Skip("multi-scenario replay grid; skipped in -short mode")
 	}
@@ -39,5 +43,54 @@ func TestParallelRunnerDeterminism(t *testing.T) {
 					id, serial, parallel)
 			}
 		})
+	}
+}
+
+// renderTSV renders an already-built report to its canonical TSV bytes.
+func renderTSV(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRunManyMatchesRun pins the batch contract: flattening many
+// experiments into one global scenario list (RunMany) must produce reports
+// byte-identical to running each id on its own pool, for any worker count.
+// The id list mixes every sharded driver with serial drivers (fig18,
+// sec72) to cover the fallback path and the slicing of the global result
+// list back to each plan.
+func TestRunManyMatchesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-experiment replay batch; skipped in -short mode")
+	}
+	ids := []string{"fig14", "fig1516", "fig17", "fig19", "sec2", "ext8", "fleet", "ticketq", "fig18", "sec72"}
+	cfg := Config{Scale: ScaleSmall, Seed: 1, Workers: 8}
+	batch, err := RunMany(ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialBatch, err := RunMany(ids, Config{Scale: ScaleSmall, Seed: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		got := renderTSV(t, batch[i])
+		if want := renderReport(t, id, cfg); !bytes.Equal(got, want) {
+			t.Errorf("%s: RunMany report differs from individual Run\n--- RunMany ---\n%s\n--- Run ---\n%s", id, got, want)
+		}
+		if serial := renderTSV(t, serialBatch[i]); !bytes.Equal(got, serial) {
+			t.Errorf("%s: RunMany Workers=8 and Workers=1 reports differ", id)
+		}
+	}
+}
+
+// TestRunManyUnknownID pins the fail-fast path: an unknown id anywhere in
+// the batch rejects the whole call before any scenario runs.
+func TestRunManyUnknownID(t *testing.T) {
+	if _, err := RunMany([]string{"fig14", "no-such-experiment"}, Config{Scale: ScaleSmall, Seed: 1}); err == nil {
+		t.Fatal("RunMany accepted an unknown experiment id")
 	}
 }

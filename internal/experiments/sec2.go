@@ -1,14 +1,11 @@
 package experiments
 
 import (
-	"corropt/internal/faults"
-	"corropt/internal/rngutil"
-	"corropt/internal/runner"
 	"corropt/internal/sim"
 )
 
 func init() {
-	register("sec2", "§2: without automatic link disabling, corruption losses would be ~2 orders of magnitude higher", sec2)
+	registerSharded("sec2", "§2: without automatic link disabling, corruption losses would be ~2 orders of magnitude higher", sec2)
 }
 
 // sec2 reproduces the estimate at the end of §2: the production
@@ -16,60 +13,38 @@ func init() {
 // corruption losses about two orders of magnitude lower than doing nothing.
 // We replay the same trace with mitigation off, with the production
 // switch-local system, and with CorrOpt, on a fabric whose switch radix
-// gives switch-local a usable (non-zero) disable budget.
-func sec2(cfg Config) (*Report, error) {
-	r := &Report{
-		ID:     "sec2",
-		Title:  "Integrated corruption penalty: no mitigation vs switch-local vs CorrOpt",
-		Header: []string{"mitigation", "integrated_penalty", "vs_no_mitigation"},
-	}
-	// Radix-8 switches so the production rule can actually disable links
-	// (its budget is ⌊8·(1−√0.75)⌋ = 1 per switch).
-	pods := 8
-	if cfg.Scale != ScaleSmall {
-		pods = 30
-	}
-	topo, err := closWithPods(pods)
+// gives switch-local a usable (non-zero) disable budget (its budget is
+// ⌊8·(1−√0.75)⌋ = 1 per radix-8 switch).
+func sec2(cfg Config) (*plan, error) {
+	e, err := cachedSec2Trace(cfg.Seed, cfg.Scale)
 	if err != nil {
 		return nil, err
 	}
-	horizon := evalHorizon(cfg.Scale)
-	inj, err := faults.NewInjector(topo, DefaultTech(),
-		faults.InjectorConfig{FaultsPerLinkPerDay: 2 * FaultRate(cfg.Scale)},
-		rngutil.New(cfg.Seed).Split("sec2"))
-	if err != nil {
-		return nil, err
-	}
-	trace := inj.Generate(horizon)
-
 	// The three mitigation levels replay the same trace independently —
-	// run them concurrently and normalize against the do-nothing baseline
-	// once all are in.
+	// fan them out and normalize against the do-nothing baseline once all
+	// are in.
 	policies := []sim.PolicyKind{sim.PolicyNone, sim.PolicySwitchLocal, sim.PolicyCorrOpt}
-	results, err := runner.Map(cfg.Workers, len(policies), func(i int) (*sim.Result, error) {
-		s, err := sim.New(topo, DefaultTech(), sim.Config{
-			Policy:        policies[i],
-			Capacity:      0.75,
-			FixedAccuracy: 0.5, // the pre-CorrOpt repair process
-			Seed:          cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return s.Run(trace, horizon)
-	})
-	if err != nil {
-		return nil, err
-	}
-	base := results[0].IntegratedPenalty
+	scenarios := make([]simScenario, len(policies))
 	for i, p := range policies {
-		res := results[i]
-		ratio := "1"
-		if base > 0 && p != sim.PolicyNone {
-			ratio = fmtF(res.IntegratedPenalty / base)
-		}
-		r.AddRow(p.String(), fmtF(res.IntegratedPenalty), ratio)
+		scenarios[i] = policyScenario(e.topo, e.trace, e.horizon, p, 0.75, 0.5, cfg.Seed)
 	}
-	r.AddNote("paper §2: 'we estimate that without it, corruption-induced losses would be two orders of magnitude higher' — the switch-local row should sit around 1e-2 of the do-nothing row")
-	return r, nil
+	finish := func(results []*sim.Result) (*Report, error) {
+		r := &Report{
+			ID:     "sec2",
+			Title:  "Integrated corruption penalty: no mitigation vs switch-local vs CorrOpt",
+			Header: []string{"mitigation", "integrated_penalty", "vs_no_mitigation"},
+		}
+		base := results[0].IntegratedPenalty
+		for i, p := range policies {
+			res := results[i]
+			ratio := "1"
+			if base > 0 && p != sim.PolicyNone {
+				ratio = fmtF(res.IntegratedPenalty / base)
+			}
+			r.AddRow(p.String(), fmtF(res.IntegratedPenalty), ratio)
+		}
+		r.AddNote("paper §2: 'we estimate that without it, corruption-induced losses would be two orders of magnitude higher' — the switch-local row should sit around 1e-2 of the do-nothing row")
+		return r, nil
+	}
+	return &plan{scenarios: scenarios, finish: finish}, nil
 }

@@ -4,13 +4,12 @@ import (
 	"fmt"
 	"time"
 
-	"corropt/internal/runner"
 	"corropt/internal/sim"
 	"corropt/internal/stats"
 )
 
 func init() {
-	register("ticketq", "§5.2 ticket economics: repair latency vs technician staffing", ticketq)
+	registerSharded("ticketq", "§5.2 ticket economics: repair latency vs technician staffing", ticketq)
 }
 
 // ticketq reproduces the operational picture of §5.2: tickets wait in a
@@ -19,87 +18,81 @@ func init() {
 // the technician pool size and measure time-to-repair and the corruption
 // penalty that queueing adds — the operational cost the recommendation
 // engine's higher accuracy (fewer re-repairs, §7.2) buys back.
-func ticketq(cfg Config) (*Report, error) {
-	r := &Report{
-		ID:     "ticketq",
-		Title:  "Repair latency and penalty vs technician staffing",
-		Header: []string{"technicians", "accuracy", "tickets", "mean_attempts", "integrated_penalty", "mean_disabled_links"},
-	}
+func ticketq(cfg Config) (*plan, error) {
 	// A single capacity-blocked high-rate link dominates one trace's
 	// penalty integral, so each cell averages several independent traces.
 	const reps = 5
 	staffing := []int{1, 2, 4, 0}
 	accuracies := []float64{0.5, 0.8}
 	// Flatten the whole staffing grid — (technicians × accuracy) cells ×
-	// reps — into one scenario list for the worker pool. Each scenario
-	// regenerates its own trace (deterministic in rep and seed, so
-	// identical across cells and worker counts) and the per-cell averages
-	// accumulate in rep order after collection.
-	type scen struct {
-		technicians int
-		accuracy    float64
-		rep         int
-	}
-	var scenarios []scen
+	// reps — into one scenario list. All cells of one rep share a memoized
+	// trace (deterministic in rep and seed, so identical across cells and
+	// worker counts) and the per-cell averages accumulate in rep order
+	// after collection.
+	var scenarios []simScenario
 	for _, technicians := range staffing {
 		for _, accuracy := range accuracies {
 			for rep := 0; rep < reps; rep++ {
-				scenarios = append(scenarios, scen{technicians, accuracy, rep})
+				technicians, accuracy, rep := technicians, accuracy, rep
+				scenarios = append(scenarios, simScenario{run: func(sc *sim.Scratch) (*sim.Result, error) {
+					topo, trace, horizon, err := evalTrace(
+						Config{Scale: cfg.Scale, Seed: cfg.Seed + uint64(rep)},
+						fmt.Sprintf("ticketq-%d", rep), cfg.Scale)
+					if err != nil {
+						return nil, err
+					}
+					s, err := sim.NewWithScratch(topo, DefaultTech(), sim.Config{
+						Policy:        sim.PolicyCorrOpt,
+						Capacity:      0.75, // tight enough that queue depth costs penalty
+						FixedAccuracy: accuracy,
+						Technicians:   technicians,
+						ServiceTime:   48 * time.Hour,
+						Seed:          cfg.Seed + uint64(rep),
+					}, sc)
+					if err != nil {
+						return nil, err
+					}
+					return s.Run(trace, horizon)
+				}})
 			}
 		}
 	}
-	results, err := runner.Map(cfg.Workers, len(scenarios), func(i int) (*sim.Result, error) {
-		sc := scenarios[i]
-		topo, trace, horizon, err := evalTrace(Config{Scale: cfg.Scale, Seed: cfg.Seed + uint64(sc.rep)},
-			fmt.Sprintf("ticketq-%d", sc.rep), cfg.Scale)
-		if err != nil {
-			return nil, err
+	finish := func(results []*sim.Result) (*Report, error) {
+		r := &Report{
+			ID:     "ticketq",
+			Title:  "Repair latency and penalty vs technician staffing",
+			Header: []string{"technicians", "accuracy", "tickets", "mean_attempts", "integrated_penalty", "mean_disabled_links"},
 		}
-		s, err := sim.New(topo, DefaultTech(), sim.Config{
-			Policy:        sim.PolicyCorrOpt,
-			Capacity:      0.75, // tight enough that queue depth costs penalty
-			FixedAccuracy: sc.accuracy,
-			Technicians:   sc.technicians,
-			ServiceTime:   48 * time.Hour,
-			Seed:          cfg.Seed + uint64(sc.rep),
-		})
-		if err != nil {
-			return nil, err
+		type cell struct {
+			tickets, attempts, penalty, down float64
 		}
-		return s.Run(trace, horizon)
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	type cell struct {
-		tickets, attempts, penalty, down float64
-	}
-	idx := 0
-	for _, technicians := range staffing {
-		for _, accuracy := range accuracies {
-			var c cell
-			for rep := 0; rep < reps; rep++ {
-				res := results[idx]
-				idx++
-				var down []float64
-				for _, smp := range res.Samples {
-					down = append(down, float64(smp.Disabled))
+		idx := 0
+		for _, technicians := range staffing {
+			for _, accuracy := range accuracies {
+				var c cell
+				for rep := 0; rep < reps; rep++ {
+					res := results[idx]
+					idx++
+					var down []float64
+					for _, smp := range res.Samples {
+						down = append(down, float64(smp.Disabled))
+					}
+					c.tickets += float64(res.TicketsOpened) / reps
+					c.attempts += res.MeanAttempts / reps
+					c.penalty += res.IntegratedPenalty / reps
+					c.down += stats.Mean(down) / reps
 				}
-				c.tickets += float64(res.TicketsOpened) / reps
-				c.attempts += res.MeanAttempts / reps
-				c.penalty += res.IntegratedPenalty / reps
-				c.down += stats.Mean(down) / reps
+				label := fmt.Sprintf("%d", technicians)
+				if technicians == 0 {
+					label = "unlimited"
+				}
+				r.AddRow(label, fmt.Sprintf("%.0f%%", accuracy*100),
+					fmtF(c.tickets), fmtF(c.attempts), fmtF(c.penalty), fmtF(c.down))
 			}
-			label := fmt.Sprintf("%d", technicians)
-			if technicians == 0 {
-				label = "unlimited"
-			}
-			r.AddRow(label, fmt.Sprintf("%.0f%%", accuracy*100),
-				fmtF(c.tickets), fmtF(c.attempts), fmtF(c.penalty), fmtF(c.down))
 		}
+		r.AddNote("a small crew lets the backlog grow: links stay down longer (higher mean disabled count) and blocked corrupting links wait longer for the optimizer's capacity (higher penalty)")
+		r.AddNote("the 80%% accuracy column needs fewer repeat visits (mean attempts ≈ 1.2 vs ≈ 2.0), which is §7.2's point: accuracy is also a staffing multiplier")
+		return r, nil
 	}
-	r.AddNote("a small crew lets the backlog grow: links stay down longer (higher mean disabled count) and blocked corrupting links wait longer for the optimizer's capacity (higher penalty)")
-	r.AddNote("the 80%% accuracy column needs fewer repeat visits (mean attempts ≈ 1.2 vs ≈ 2.0), which is §7.2's point: accuracy is also a staffing multiplier")
-	return r, nil
+	return &plan{scenarios: scenarios, finish: finish}, nil
 }

@@ -425,3 +425,55 @@ func TestRepairLink(t *testing.T) {
 		t.Fatal("single-link faults should be fully cleared")
 	}
 }
+
+// TestStateReset pins that Reset restores a pooled State to the healthy
+// state a fresh construction would produce, including technology
+// reassignment for a different fabric's optics mix.
+func TestStateReset(t *testing.T) {
+	topo := testTopo(t)
+	st := NewState(topo, testTech())
+	inj := newInjector(t, topo, InjectorConfig{})
+	var cleared []ID
+	for i := 0; i < 5; i++ {
+		f := inj.NewFault(time.Duration(i) * time.Hour)
+		st.Apply(f)
+		if i%2 == 0 {
+			cleared = append(cleared, f.ID)
+		}
+	}
+	for _, id := range cleared[:1] {
+		st.Clear(id)
+	}
+
+	tech2 := testTech()
+	tech2.Name = "reassigned"
+	tech2.NominalTx = 1
+	st.Reset(func(topology.LinkID) optics.Technology { return tech2 })
+
+	if st.NumActiveFaults() != 0 {
+		t.Fatalf("%d faults survive Reset", st.NumActiveFaults())
+	}
+	if got := st.CorruptingLinks(1e-9); len(got) != 0 {
+		t.Fatalf("links still corrupting after Reset: %v", got)
+	}
+	if st.Tech().Name != "reassigned" || st.TechOf(0).Name != "reassigned" {
+		t.Fatal("Reset did not reassign technology")
+	}
+	for l := 0; l < topo.NumLinks(); l++ {
+		ol := st.Optics(topology.LinkID(l))
+		if ol.TxPower(optics.LowerSide) != 1 || ol.TxPower(optics.UpperSide) != 1 {
+			t.Fatalf("link %d optics not re-dressed for the new tech", l)
+		}
+	}
+	// The reset state must behave like a fresh one under new faults.
+	f := inj.NewFault(0)
+	st.Apply(f)
+	fresh := NewState(topo, tech2)
+	fresh.Apply(f)
+	for l := 0; l < topo.NumLinks(); l++ {
+		id := topology.LinkID(l)
+		if st.WorstRate(id) != fresh.WorstRate(id) {
+			t.Fatalf("link %d rate %v after Reset, fresh %v", l, st.WorstRate(id), fresh.WorstRate(id))
+		}
+	}
+}

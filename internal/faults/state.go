@@ -61,6 +61,27 @@ func NewMultiTechState(topo *topology.Topology, assign func(topology.LinkID) opt
 	return s
 }
 
+// Reset restores s to the healthy state NewMultiTechState(s.Topology(),
+// assign) would construct, reusing every allocation: link objects are
+// re-dressed in place, per-link fault lists are truncated, and the fault
+// maps are cleared. The topology cannot change — scratch pools key reusable
+// States by topology. After Reset the State is observationally identical to
+// a fresh one, which the sim scratch differential tests pin.
+func (s *State) Reset(assign func(topology.LinkID) optics.Technology) {
+	for i := range s.links {
+		s.techs[i] = assign(topology.LinkID(i))
+		s.links[i].ResetTech(s.techs[i])
+		s.active[i] = s.active[i][:0]
+		s.direct[0][i] = 0
+		s.direct[1][i] = 0
+	}
+	clear(s.faults)
+	clear(s.suppressed)
+	if len(s.links) > 0 {
+		s.tech = s.techs[0]
+	}
+}
+
 // TechOf reports the transceiver technology of link l.
 func (s *State) TechOf(l topology.LinkID) optics.Technology { return s.techs[l] }
 

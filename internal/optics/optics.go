@@ -122,6 +122,14 @@ func (l *Link) Reset() {
 	l.extraLoss = [2]DB{}
 }
 
+// ResetTech reassigns the link's technology and restores the healthy state
+// for it — equivalent to NewLink(tech) in place, so pooled simulation
+// scratch can re-dress a recycled link for a different fabric.
+func (l *Link) ResetTech(tech Technology) {
+	l.tech = tech
+	l.Reset()
+}
+
 // TxLow reports whether side s transmits below the technology threshold.
 func (l *Link) TxLow(s Side) bool { return l.tx[s] < l.tech.TxThreshold }
 

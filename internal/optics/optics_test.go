@@ -138,3 +138,18 @@ func TestDefaultTechnologies(t *testing.T) {
 		}
 	}
 }
+
+// TestResetTech pins that ResetTech is NewLink-in-place for a new
+// technology.
+func TestResetTech(t *testing.T) {
+	a := Technology{Name: "a", NominalTx: 0, TxThreshold: -4, RxThreshold: -10, PathLoss: 3}
+	b := Technology{Name: "b", NominalTx: 2, TxThreshold: -2, RxThreshold: -8, PathLoss: 1}
+	l := NewLink(a)
+	l.AddLoss(LowerSide, 7)
+	l.SetTxPower(UpperSide, -20)
+	l.ResetTech(b)
+	want := NewLink(b)
+	if *l != *want {
+		t.Fatalf("ResetTech: got %+v, want %+v", *l, *want)
+	}
+}

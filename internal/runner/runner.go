@@ -77,12 +77,43 @@ func Workers(n int) int {
 // with panics captured as *PanicError. workers == 1 or n <= 1 runs inline
 // on the calling goroutine in index order, with no pool at all.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapScratch(workers, n,
+		func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) (T, error) { return fn(i) })
+}
+
+// chunkSize picks how many consecutive indices a worker claims per atomic
+// operation: large enough to amortize the shared counter when n is big,
+// small enough that a chunk of long scenarios cannot leave the other
+// workers idle at the tail (at least 8 chunks per worker).
+func chunkSize(workers, n int) int {
+	c := n / (workers * 8)
+	switch {
+	case c < 1:
+		return 1
+	case c > 64:
+		return 64
+	default:
+		return c
+	}
+}
+
+// MapScratch is Map with per-worker scratch state: newScratch runs once per
+// worker goroutine (and once total in the inline workers==1 path) and its
+// value is threaded into every fn call that worker executes. Scenarios that
+// reuse scratch must leave results independent of which worker — and in
+// which order — ran them, the same determinism contract Map imposes;
+// sim.Scratch's reset-between-scenarios discipline is the canonical
+// example. Indices are claimed in contiguous chunks (chunkSize) to keep the
+// shared counter off the hot path on large work lists; chunking is
+// invisible in the output, which stays in index order.
+func MapScratch[T, S any](workers, n int, newScratch func() S, fn func(i int, scratch S) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
 	results := make([]T, n)
 	errs := make([]error, n)
-	call := func(i int) {
+	call := func(i int, scratch S) {
 		// The recover runs on the worker goroutine: a panicking scenario
 		// must record its error and let the worker move on to the next
 		// index, never tear down the pool (wg.Done sits above this frame).
@@ -91,7 +122,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				errs[i] = &PanicError{Index: i, Value: v, Stack: captureStack()}
 			}
 		}()
-		results[i], errs[i] = fn(i)
+		results[i], errs[i] = fn(i, scratch)
 	}
 
 	workers = Workers(workers)
@@ -99,24 +130,34 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		workers = n
 	}
 	if workers == 1 {
+		scratch := newScratch()
 		for i := 0; i < n; i++ {
-			call(i)
+			call(i, scratch)
 		}
 	} else {
-		// Workers pull the next scenario index from a shared counter, so
-		// long scenarios do not convoy short ones behind a fixed striping.
+		// Workers pull the next chunk of scenario indices from a shared
+		// counter, so long scenarios do not convoy short ones behind a
+		// fixed striping.
+		chunk := int64(chunkSize(workers, n))
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
 			go func() {
 				defer wg.Done()
+				scratch := newScratch()
 				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
+					lo := int(next.Add(chunk)) - int(chunk)
+					if lo >= n {
 						return
 					}
-					call(i)
+					hi := lo + int(chunk)
+					if hi > n {
+						hi = n
+					}
+					for i := lo; i < hi; i++ {
+						call(i, scratch)
+					}
 				}
 			}()
 		}

@@ -133,6 +133,133 @@ func TestForEach(t *testing.T) {
 	}
 }
 
+// TestMapScratchPerWorker pins the scratch contract: newScratch runs once
+// per worker goroutine, every fn call receives that worker's own scratch,
+// and no scratch value is shared across workers.
+func TestMapScratchPerWorker(t *testing.T) {
+	const workers, n = 4, 128
+	var created atomic.Int64
+	type scratch struct{ calls int }
+	out, err := MapScratch(workers, n,
+		func() *scratch {
+			created.Add(1)
+			return &scratch{}
+		},
+		func(i int, s *scratch) (*scratch, error) {
+			s.calls++ // unsynchronized on purpose: -race flags sharing
+			return s, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := created.Load(); c < 1 || c > workers {
+		t.Fatalf("newScratch ran %d times, want 1..%d", c, workers)
+	}
+	// Every call must have been counted by exactly one scratch.
+	total := 0
+	seen := map[*scratch]bool{}
+	for _, s := range out {
+		if !seen[s] {
+			seen[s] = true
+			total += s.calls
+		}
+	}
+	if total != n {
+		t.Fatalf("scratch calls sum to %d, want %d", total, n)
+	}
+}
+
+// TestMapScratchSerialReuse pins that the inline workers==1 path allocates
+// exactly one scratch and reuses it for every index in order.
+func TestMapScratchSerialReuse(t *testing.T) {
+	var created int
+	order := []int{}
+	_, err := MapScratch(1, 10,
+		func() int { created++; return created },
+		func(i int, s int) (int, error) {
+			if s != 1 {
+				t.Fatalf("index %d got scratch %d, want the single instance", i, s)
+			}
+			order = append(order, i)
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created != 1 {
+		t.Fatalf("newScratch ran %d times serially, want 1", created)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial path visited %v, want ascending order", order)
+		}
+	}
+}
+
+// TestMapScratchChunkedDeterminism pins that chunked index claiming is
+// invisible in the output across worker counts and n values that exercise
+// chunk-boundary arithmetic (n not divisible by chunk, n < workers, large n).
+func TestMapScratchChunkedDeterminism(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 65, 1000, 4097} {
+		scenario := func(i int, _ struct{}) (string, error) {
+			rng := rngutil.New(7).SplitIndex("chunk", i)
+			return fmt.Sprintf("%d:%x", i, rng.Int63()), nil
+		}
+		want, err := MapScratch(1, n, func() struct{} { return struct{}{} }, scenario)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 0} {
+			got, err := MapScratch(workers, n, func() struct{} { return struct{}{} }, scenario)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d workers=%d: results differ from serial run", n, workers)
+			}
+		}
+	}
+}
+
+// TestMapScratchPanic pins that a panic mid-chunk records a *PanicError at
+// the right index and the worker continues with the rest of its chunk.
+func TestMapScratchPanic(t *testing.T) {
+	var completed atomic.Int64
+	_, err := MapScratch(2, 64,
+		func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) (struct{}, error) {
+			if i == 9 {
+				panic("mid-chunk")
+			}
+			completed.Add(1)
+			return struct{}{}, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Index != 9 {
+		t.Fatalf("got %v, want *PanicError at index 9", err)
+	}
+	if c := completed.Load(); c != 63 {
+		t.Fatalf("only %d of 63 healthy scenarios completed", c)
+	}
+}
+
+// TestChunkSize pins the chunk heuristic's bounds: never below 1, never
+// above 64, and small enough that every worker sees several chunks.
+func TestChunkSize(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{8, 8, 1},       // tiny n: per-index claiming
+		{8, 64, 1},      // n == workers*8: still 1
+		{8, 128, 2},     // grows with n
+		{1, 100000, 64}, // capped at 64
+		{4, 0, 1},       // degenerate
+	}
+	for _, c := range cases {
+		if got := chunkSize(c.workers, c.n); got != c.want {
+			t.Errorf("chunkSize(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
 // TestWorkers pins the knob normalization.
 func TestWorkers(t *testing.T) {
 	if Workers(0) != runtime.NumCPU() || Workers(-3) != runtime.NumCPU() {

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"corropt/internal/core"
+	"corropt/internal/faults"
+	"corropt/internal/optics"
+	"corropt/internal/simclock"
+	"corropt/internal/tickets"
+	"corropt/internal/topology"
+)
+
+// Scratch is the per-worker reusable state behind NewWithScratch: the event
+// clock, the ticket queue (with its recycled-ticket arena), the bookkeeping
+// maps, and a small pool of per-topology Network/State pairs that are Reset
+// between scenarios instead of reallocated. A fresh Sim costs one
+// PathCounter sweep plus O(links) allocations; a Scratch-backed Sim reuses
+// all of it, which is what drives the experiment suite's event path toward
+// zero allocations per scenario.
+//
+// Ownership rules:
+//
+//   - A Scratch serves one Sim at a time: NewWithScratch(.., sc) invalidates
+//     every Sim previously built from sc, so a scenario's Run must finish
+//     before the worker starts the next scenario. runner.MapScratch's
+//     one-scratch-per-worker discipline guarantees this.
+//   - A Scratch is not safe for concurrent use; never share one across
+//     goroutines.
+//   - Results returned by Run stay valid after the Scratch moves on — the
+//     sample and per-day buffers are owned by the Result, never pooled.
+type Scratch struct {
+	clock *simclock.Clock
+	queue *tickets.Queue
+	// pools is a tiny LRU (most-recently-used last) of per-topology reusable
+	// state. Scenario work lists are grouped by driver, so consecutive
+	// scenarios on one worker overwhelmingly share a topology; the LRU keeps
+	// the hit path O(maxTopoPools) with deterministic slice-order eviction
+	// (no map iteration).
+	pools []*topoScratch
+
+	reseated   map[topology.LinkID]bool
+	ticketed   map[topology.LinkID]bool
+	collateral map[topology.LinkID]int
+}
+
+// topoScratch is the reusable per-topology state: the Network (owning the
+// incremental PathCounter) and the fault State (owning one optics.Link per
+// link).
+type topoScratch struct {
+	topo  *topology.Topology
+	net   *core.Network
+	state *faults.State
+}
+
+// maxTopoPools bounds the per-worker pool: Network+State are O(links) each,
+// and workers that sweep many distinct fabrics (the fleet study) must not
+// accumulate one pair per DCN.
+const maxTopoPools = 4
+
+// NewScratch returns an empty Scratch ready to back NewWithScratch calls.
+func NewScratch() *Scratch {
+	return &Scratch{
+		clock:      simclock.New(),
+		queue:      tickets.NewQueue(tickets.QueueConfig{}),
+		reseated:   make(map[topology.LinkID]bool),
+		ticketed:   make(map[topology.LinkID]bool),
+		collateral: make(map[topology.LinkID]int),
+	}
+}
+
+// pool returns reusable per-topology state for topo, reset to the
+// fresh-construction state for the given capacity and technology
+// assignment. On a miss it builds a new pair, evicting the
+// least-recently-used entry once the pool is full.
+func (sc *Scratch) pool(topo *topology.Topology, capacity float64,
+	assign func(topology.LinkID) optics.Technology) (*topoScratch, error) {
+	for i, ts := range sc.pools {
+		if ts.topo != topo {
+			continue
+		}
+		copy(sc.pools[i:], sc.pools[i+1:])
+		sc.pools[len(sc.pools)-1] = ts
+		if err := ts.net.Reset(capacity); err != nil {
+			return nil, err
+		}
+		ts.state.Reset(assign)
+		return ts, nil
+	}
+	net, err := core.NewNetwork(topo, capacity)
+	if err != nil {
+		return nil, err
+	}
+	ts := &topoScratch{topo: topo, net: net, state: faults.NewMultiTechState(topo, assign)}
+	if len(sc.pools) >= maxTopoPools {
+		copy(sc.pools, sc.pools[1:])
+		sc.pools = sc.pools[:len(sc.pools)-1]
+	}
+	sc.pools = append(sc.pools, ts)
+	return ts, nil
+}

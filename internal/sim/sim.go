@@ -273,49 +273,82 @@ type Sim struct {
 	lastPenalty  float64
 }
 
-// New builds a simulation over the topology and transceiver technology.
+// New builds a simulation over the topology and transceiver technology with
+// freshly allocated internals. It is NewWithScratch with a nil Scratch and
+// remains the reference construction path the scratch differential tests
+// compare against.
 func New(topo *topology.Topology, tech optics.Technology, cfg Config) (*Sim, error) {
+	return NewWithScratch(topo, tech, cfg, nil)
+}
+
+// NewWithScratch builds a simulation like New but, with a non-nil sc,
+// borrows the Scratch's pooled internals (clock, ticket queue, bookkeeping
+// maps, per-topology Network and fault State) instead of allocating fresh
+// ones. The pooled state is reset to exactly the fresh-construction state,
+// so a scratch-backed Sim's Run output is bit-identical to New's for the
+// same inputs. Building a new Sim from sc invalidates every Sim previously
+// built from it; see Scratch for the ownership rules.
+func NewWithScratch(topo *topology.Topology, tech optics.Technology, cfg Config, sc *Scratch) (*Sim, error) {
 	cfg.fillDefaults()
-	net, err := core.NewNetwork(topo, cfg.Capacity)
-	if err != nil {
-		return nil, err
-	}
 	assign := cfg.TechAssign
 	if assign == nil {
 		assign = func(topology.LinkID) optics.Technology { return tech }
 	}
 	s := &Sim{
-		cfg:        cfg,
-		topo:       topo,
-		state:      faults.NewMultiTechState(topo, assign),
-		net:        net,
-		queue:      tickets.NewQueue(tickets.QueueConfig{ServiceTime: cfg.ServiceTime, Technicians: cfg.Technicians}),
-		clock:      simclock.New(),
-		rng:        rngutil.New(cfg.Seed).Split("sim"),
-		reseated:   make(map[topology.LinkID]bool),
-		ticketed:   make(map[topology.LinkID]bool),
-		collateral: make(map[topology.LinkID]int),
+		cfg:  cfg,
+		topo: topo,
+		rng:  rngutil.New(cfg.Seed).Split("sim"),
+	}
+	if sc == nil {
+		net, err := core.NewNetwork(topo, cfg.Capacity)
+		if err != nil {
+			return nil, err
+		}
+		s.net = net
+		s.state = faults.NewMultiTechState(topo, assign)
+		s.queue = tickets.NewQueue(tickets.QueueConfig{ServiceTime: cfg.ServiceTime, Technicians: cfg.Technicians})
+		s.clock = simclock.New()
+		s.reseated = make(map[topology.LinkID]bool)
+		s.ticketed = make(map[topology.LinkID]bool)
+		s.collateral = make(map[topology.LinkID]int)
+	} else {
+		ts, err := sc.pool(topo, cfg.Capacity, assign)
+		if err != nil {
+			return nil, err
+		}
+		s.net = ts.net
+		s.state = ts.state
+		sc.queue.Reset(tickets.QueueConfig{ServiceTime: cfg.ServiceTime, Technicians: cfg.Technicians, Quiet: true})
+		s.queue = sc.queue
+		sc.clock.Reset()
+		s.clock = sc.clock
+		clear(sc.reseated)
+		clear(sc.ticketed)
+		clear(sc.collateral)
+		s.reseated = sc.reseated
+		s.ticketed = sc.ticketed
+		s.collateral = sc.collateral
 	}
 	// Incremental penalty accounting: the network maintains Σ (1-d_l)·I(f_l)
 	// as O(1)-updatable state, so settle/sample read it instead of
 	// rescanning every link per event.
-	net.RegisterPenalty(cfg.Penalty)
+	s.net.RegisterPenalty(cfg.Penalty)
 	s.tech = tickets.NewTechnician(1-cfg.IgnoreProb, s.rng.Split("technician"))
 	switch cfg.Policy {
 	case PolicyNone:
 		s.pol = nonePolicy{}
 	case PolicySwitchLocal:
-		sl, err := core.NewSwitchLocal(net, cfg.Capacity)
+		sl, err := core.NewSwitchLocal(s.net, cfg.Capacity)
 		if err != nil {
 			return nil, err
 		}
 		s.pol = &switchLocalPolicy{sl: sl, threshold: cfg.DetectionThreshold}
 	case PolicyFastOnly:
-		s.pol = &fastOnlyPolicy{fc: core.NewFastChecker(net), threshold: cfg.DetectionThreshold}
+		s.pol = &fastOnlyPolicy{fc: core.NewFastChecker(s.net), threshold: cfg.DetectionThreshold}
 	case PolicyCorrOpt:
 		s.pol = &corrOptPolicy{
-			fc:        core.NewFastChecker(net),
-			opt:       core.NewOptimizer(net, cfg.Penalty, cfg.Optimizer),
+			fc:        core.NewFastChecker(s.net),
+			opt:       core.NewOptimizer(s.net, cfg.Penalty, cfg.Optimizer),
 			threshold: cfg.DetectionThreshold,
 		}
 	default:
@@ -342,6 +375,11 @@ func (s *Sim) Run(trace []*faults.Fault, horizon time.Duration) (*Result, error)
 		return nil, fmt.Errorf("sim: Run called twice on the same Sim; Sim is one-shot — build a new Sim to replay")
 	}
 	s.ran = true
+	// Size the output series up front: one sample per interval plus the t=0
+	// and horizon points, one penalty bucket per simulated day. Saves the
+	// append-growth reallocations on every scenario.
+	s.result.Samples = make([]Sample, 0, horizon/s.cfg.SampleInterval+2)
+	s.result.PenaltyPerDay = make([]float64, 0, horizon/(24*time.Hour)+1)
 	for _, f := range trace {
 		f := f
 		if f.Start >= horizon {
@@ -403,8 +441,10 @@ func (s *Sim) onFault(f *faults.Fault, now time.Duration) {
 	s.accrue(now)
 	defer s.settle()
 	s.state.Apply(f)
-	for _, l := range f.Links() {
-		l := l
+	// Iterate Effects directly instead of f.Links(): Links() allocates a
+	// fresh slice per call, and onFault runs once per trace fault.
+	for _, e := range f.Effects {
+		l := e.Link
 		s.syncRate(l)
 		if s.cfg.DetectionDelay > 0 {
 			s.clock.After(s.cfg.DetectionDelay, func(at time.Duration) {
@@ -609,7 +649,7 @@ func (s *Sim) sample(now time.Duration) {
 		Penalty:          p,
 		WorstToRFraction: s.net.WorstToRFraction(),
 		MeanToRFraction:  s.net.MeanToRFraction(),
-		ActiveCorrupting: len(s.net.ActiveCorrupting(s.cfg.DetectionThreshold)),
+		ActiveCorrupting: s.net.NumActiveCorrupting(s.cfg.DetectionThreshold),
 		Disabled:         s.net.NumDisabled(),
 	})
 }

@@ -56,14 +56,55 @@ func (h Handle) Cancel() {
 }
 
 // Clock is a virtual clock with an event queue.
+//
+// A Clock recycles event items across Reset: every item popped by Step is
+// parked and handed back to At by the next simulation run, so a reused
+// Clock's event path allocates nothing in steady state. Items are only
+// recycled wholesale at Reset — never while their Handles could still be
+// cancelled — so Cancel stays safe for the whole run that created the
+// Handle.
 type Clock struct {
 	now time.Duration
 	q   eventHeap
 	seq uint64
+	// free holds recycled items available to At; spent holds items popped by
+	// Step since the last Reset, parked until Reset moves them to free.
+	free  []*item
+	spent []*item
 }
 
 // New returns a Clock at virtual time zero.
 func New() *Clock { return &Clock{} }
+
+// Reset rewinds the clock to virtual time zero with an empty queue,
+// recycling every event item (pending and fired) for reuse by subsequent
+// scheduling. Handles obtained before Reset are invalidated: cancelling one
+// afterwards could mark a recycled item dead and silently drop an unrelated
+// future event, so callers must drop all Handles before resetting — the
+// discipline sim.Scratch follows between scenarios.
+func (c *Clock) Reset() {
+	for _, it := range c.q {
+		it.fn = nil
+		c.free = append(c.free, it)
+	}
+	c.q = c.q[:0]
+	c.free = append(c.free, c.spent...)
+	c.spent = c.spent[:0]
+	c.now = 0
+	c.seq = 0
+}
+
+// newItem returns a zeroed item, recycled when the free list has one.
+func (c *Clock) newItem() *item {
+	if n := len(c.free); n > 0 {
+		it := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		*it = item{}
+		return it
+	}
+	return &item{}
+}
 
 // Now reports the current virtual time as an offset from the simulation
 // start.
@@ -75,7 +116,8 @@ func (c *Clock) At(at time.Duration, fn Event) (Handle, error) {
 	if at < c.now {
 		return Handle{}, errors.New("simclock: schedule in the past")
 	}
-	it := &item{at: at, seq: c.seq, fn: fn}
+	it := c.newItem()
+	it.at, it.seq, it.fn = at, c.seq, fn
 	c.seq++
 	heap.Push(&c.q, it)
 	return Handle{it: it}, nil
@@ -121,10 +163,21 @@ func (c *Clock) Step() bool {
 	for c.q.Len() > 0 {
 		it := heap.Pop(&c.q).(*item)
 		if it.dead {
+			// Park the cancelled item too: its Handle can still be
+			// re-cancelled (a no-op on a dead item), so recycling waits for
+			// Reset like everything else.
+			it.fn = nil
+			c.spent = append(c.spent, it)
 			continue
 		}
 		c.now = it.at
-		it.fn(c.now)
+		// Park before firing; Cancel on an already-fired Handle stays a
+		// harmless dead-mark because the item is out of the queue and only
+		// recycled at the next Reset.
+		fn := it.fn
+		it.fn = nil
+		c.spent = append(c.spent, it)
+		fn(c.now)
 		return true
 	}
 	return false

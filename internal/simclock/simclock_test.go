@@ -127,3 +127,54 @@ func TestEveryPanicsOnBadPeriod(t *testing.T) {
 	}()
 	New().Every(0, func(time.Duration) {})
 }
+
+// TestClockReset pins that Reset rewinds to a fresh-clock state and that a
+// reused clock replays the same schedule identically.
+func TestClockReset(t *testing.T) {
+	c := New()
+	run := func() []time.Duration {
+		var fired []time.Duration
+		c.After(time.Second, func(now time.Duration) { fired = append(fired, now) })
+		h := c.After(2*time.Second, func(now time.Duration) { fired = append(fired, now) })
+		c.After(3*time.Second, func(now time.Duration) { fired = append(fired, now) })
+		h.Cancel()
+		c.RunUntil(10 * time.Second)
+		return fired
+	}
+	first := run()
+	if c.Now() != 10*time.Second {
+		t.Fatalf("clock at %v before Reset", c.Now())
+	}
+	c.Reset()
+	if c.Now() != 0 || c.Pending() != 0 {
+		t.Fatalf("Reset left now=%v pending=%d", c.Now(), c.Pending())
+	}
+	second := run()
+	if len(first) != 2 || len(second) != len(first) {
+		t.Fatalf("replay fired %v, first run fired %v", second, first)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay fired at %v, first run at %v", second[i], first[i])
+		}
+	}
+}
+
+// TestClockResetRecyclesItems pins the arena: after a warm-up cycle, a
+// schedule/run/Reset round allocates no event items.
+func TestClockResetRecyclesItems(t *testing.T) {
+	c := New()
+	fn := func(time.Duration) {}
+	cycle := func() {
+		for i := 0; i < 32; i++ {
+			c.After(time.Duration(i)*time.Minute, fn)
+		}
+		c.Run()
+		c.Reset()
+	}
+	cycle() // warm up the free list and heap capacity
+	allocs := testing.AllocsPerRun(10, cycle)
+	if allocs > 0 {
+		t.Fatalf("warm schedule/run/Reset cycle allocates %v per run, want 0", allocs)
+	}
+}

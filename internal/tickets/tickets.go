@@ -77,6 +77,10 @@ type QueueConfig struct {
 	// reproduces §7.1's simulation model where every ticket resolves a
 	// fixed two days after creation.
 	Technicians int
+	// Quiet suppresses diary lines. The experiment drivers never read
+	// diaries (only the diary tests do), and each line costs a Sprintf on
+	// the hot ticket path, so pooled simulation scratch runs quiet.
+	Quiet bool
 }
 
 func (c *QueueConfig) fillDefaults() {
@@ -95,6 +99,9 @@ type Queue struct {
 	history []*Ticket
 	// attempts tracks per-link repair attempts for Attempt numbering.
 	attempts map[topology.LinkID]int
+	// free holds recycled tickets, refilled from history by Reset so a
+	// reused queue's Open path allocates nothing in steady state.
+	free []*Ticket
 }
 
 type busyHeap []time.Duration
@@ -125,20 +132,55 @@ func NewQueue(cfg QueueConfig) *Queue {
 	return q
 }
 
+// Reset empties the queue back to its NewQueue(cfg) state, recycling every
+// resolved ticket for reuse by subsequent Opens. Tickets handed out before
+// Reset are invalidated (their fields will be overwritten); callers must
+// drop all ticket pointers first, the discipline sim.Scratch follows
+// between scenarios.
+func (q *Queue) Reset(cfg QueueConfig) {
+	cfg.fillDefaults()
+	q.cfg = cfg
+	q.nextID = 0
+	// Open tickets still live in q.open (never resolved); recycle them too.
+	for _, t := range q.open {
+		q.free = append(q.free, t)
+	}
+	clear(q.open)
+	q.free = append(q.free, q.history...)
+	q.history = q.history[:0]
+	clear(q.attempts)
+	q.workers = q.workers[:0]
+	for i := 0; i < cfg.Technicians; i++ {
+		q.workers = append(q.workers, 0)
+	}
+}
+
+// newTicket returns a zeroed ticket, recycled when the free list has one.
+func (q *Queue) newTicket() *Ticket {
+	if n := len(q.free); n > 0 {
+		t := q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		diary := t.Diary[:0]
+		*t = Ticket{Diary: diary}
+		return t
+	}
+	return &Ticket{}
+}
+
 // Open creates a ticket for link l at virtual time now and returns it along
 // with the virtual time its repair attempt will complete. With unlimited
 // technicians that is now + ServiceTime; with a bounded crew the ticket
 // waits for the first free technician (FIFO).
 func (q *Queue) Open(l topology.LinkID, rec faults.RepairAction, now time.Duration) (*Ticket, time.Duration) {
 	q.attempts[l]++
-	t := &Ticket{
-		ID:             q.nextID,
-		Link:           l,
-		Recommendation: rec,
-		Attempt:        q.attempts[l],
-		Status:         Queued,
-		CreatedAt:      now,
-	}
+	t := q.newTicket()
+	t.ID = q.nextID
+	t.Link = l
+	t.Recommendation = rec
+	t.Attempt = q.attempts[l]
+	t.Status = Queued
+	t.CreatedAt = now
 	q.nextID++
 	start := now
 	if len(q.workers) > 0 {
@@ -152,8 +194,10 @@ func (q *Queue) Open(l topology.LinkID, rec faults.RepairAction, now time.Durati
 	t.Status = InRepair
 	done := start + q.cfg.ServiceTime
 	q.open[t.ID] = t
-	t.Log("opened at %v, repair scheduled to finish at %v (attempt %d, recommendation %v)",
-		now, done, t.Attempt, rec)
+	if !q.cfg.Quiet {
+		t.Log("opened at %v, repair scheduled to finish at %v (attempt %d, recommendation %v)",
+			now, done, t.Attempt, rec)
+	}
 	return t, done
 }
 
@@ -168,7 +212,9 @@ func (q *Queue) Resolve(t *Ticket, now time.Duration, action faults.RepairAction
 	t.ResolvedAt = now
 	t.ActionTaken = action
 	t.Succeeded = succeeded
-	t.Log("resolved at %v: action %v, success %v", now, action, succeeded)
+	if !q.cfg.Quiet {
+		t.Log("resolved at %v: action %v, success %v", now, action, succeeded)
+	}
 	q.history = append(q.history, t)
 	if succeeded {
 		// The repair episode is over; a future fault on the same link

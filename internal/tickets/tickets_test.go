@@ -6,6 +6,7 @@ import (
 
 	"corropt/internal/faults"
 	"corropt/internal/rngutil"
+	"corropt/internal/topology"
 )
 
 func TestOpenResolveUnlimited(t *testing.T) {
@@ -186,5 +187,56 @@ func TestTechnicianEscalatesLate(t *testing.T) {
 	}
 	if seen[faults.ActionCleanFiber] || seen[faults.ActionReseatTransceiver] {
 		t.Fatalf("third attempt still trying first-line actions: %v", seen)
+	}
+}
+
+// TestQueueReset pins that Reset restores a pooled queue to its NewQueue
+// state: IDs and attempt numbering restart, history empties, and the
+// technician pool is rebuilt for the new config.
+func TestQueueReset(t *testing.T) {
+	q := NewQueue(QueueConfig{Technicians: 1})
+	t1, d1 := q.Open(4, faults.ActionCleanFiber, 0)
+	q.Resolve(t1, d1, faults.ActionCleanFiber, false)
+	q.Open(4, faults.ActionCleanFiber, d1) // left open across Reset
+
+	q.Reset(QueueConfig{Technicians: 2, Quiet: true})
+	if q.OpenCount() != 0 || len(q.History()) != 0 {
+		t.Fatalf("Reset left %d open, %d resolved", q.OpenCount(), len(q.History()))
+	}
+	t2, _ := q.Open(4, faults.ActionCleanFiber, 0)
+	if t2.ID != 0 || t2.Attempt != 1 {
+		t.Fatalf("post-Reset ticket ID=%d attempt=%d, want 0 and 1", t2.ID, t2.Attempt)
+	}
+	if len(t2.Diary) != 0 {
+		t.Fatalf("quiet queue wrote %d diary lines", len(t2.Diary))
+	}
+	// Two technicians now: a second concurrent ticket starts immediately.
+	t3, d3 := q.Open(5, faults.ActionCleanFiber, 0)
+	if t3.StartedAt != 0 {
+		t.Fatalf("second technician busy at %v, want 0", t3.StartedAt)
+	}
+	if err := q.Resolve(t3, d3, faults.ActionCleanFiber, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueResetRecyclesTickets pins the ticket arena: a warm
+// open/resolve/Reset cycle allocates no tickets.
+func TestQueueResetRecyclesTickets(t *testing.T) {
+	q := NewQueue(QueueConfig{Quiet: true})
+	cycle := func() {
+		for i := 0; i < 16; i++ {
+			tk, done := q.Open(topology.LinkID(i), faults.ActionCleanFiber, 0)
+			if err := q.Resolve(tk, done, faults.ActionCleanFiber, true); err != nil {
+				panic(err)
+			}
+		}
+		q.Reset(QueueConfig{Quiet: true})
+	}
+	cycle() // warm up the free list and map capacity
+	allocs := testing.AllocsPerRun(10, cycle)
+	// The open/attempts maps may rehash; tickets themselves must recycle.
+	if allocs > 2 {
+		t.Fatalf("warm open/resolve/Reset cycle allocates %v per run", allocs)
 	}
 }

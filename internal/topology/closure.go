@@ -97,6 +97,42 @@ func (t *Topology) UpstreamLinkSet(tors []SwitchID, set *LinkSet) {
 	}
 }
 
+// UpstreamWalker recomputes upstream link cones repeatedly without
+// re-allocating traversal state; the zero value is ready to use. The
+// optimizer holds one per instance and walks a cone per endangered ToR on
+// every run, so the visited array and stack amortize across the whole
+// simulation. Not safe for concurrent use.
+type UpstreamWalker struct {
+	seen  []bool
+	stack []SwitchID
+}
+
+// FromToR adds to set every link on some valley-free path from tor to the
+// spine — UpstreamLinkSet for a single ToR, with the walker owning the
+// visited/stack scratch. set must be sized for t and is not cleared first.
+func (w *UpstreamWalker) FromToR(t *Topology, tor SwitchID, set *LinkSet) {
+	if cap(w.seen) < len(t.switches) {
+		w.seen = make([]bool, len(t.switches))
+	}
+	seen := w.seen[:len(t.switches)]
+	clear(seen)
+	stack := append(w.stack[:0], tor)
+	seen[tor] = true
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ul := range t.Switch(cur).Uplinks {
+			set.Add(ul)
+			nxt := t.Link(ul).Upper
+			if !seen[nxt] {
+				seen[nxt] = true
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	w.seen, w.stack = seen, stack[:0]
+}
+
 // SwitchesWithLinks returns the distinct switches touched by the given
 // links (either endpoint). The locality analysis of Figure 4 is a ratio of
 // such switch-set sizes.

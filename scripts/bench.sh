@@ -14,9 +14,14 @@
 # lint suite runs BenchmarkLintRepo / BenchmarkLintLoad in internal/analysis
 # and writes BENCH_lint.{txt,json}.
 #
-# One JSON object per benchmark line, keyed by the reported units, e.g.
-#   {"name":"BenchmarkFastChecker-8","iterations":3504,
-#    "ns/op":335399,"B/op":0,"allocs/op":0}
+# The JSON is an object: a "meta" block recording the machine the numbers
+# came from (benchmark results are only comparable against floors recorded
+# on a matching machine — see scripts/bench_check.sh), then one object per
+# benchmark line under "benchmarks", keyed by the reported units, e.g.
+#   {"meta":{"suite":"core","go":"go1.24.0","gomaxprocs":8,
+#    "cpu":"Intel(R) Xeon(R) ...","count":5},
+#    "benchmarks":[{"name":"BenchmarkFastChecker-8","iterations":3504,
+#    "ns/op":335399,"B/op":0,"allocs/op":0}, ...]}
 # Custom metrics (e.g. "cone-switches" from BenchmarkPathCountingScoped)
 # come through under their own unit names.
 #
@@ -51,7 +56,7 @@ core)
 experiments)
 	TXT=BENCH_experiments.txt
 	JSON=BENCH_experiments.json
-	PATTERN='ExperimentsSuite'
+	PATTERN='ExperimentsSuite|ExperimentsBatch'
 	# Each iteration replays whole experiments; one timed run per
 	# sub-benchmark keeps the suite in minutes.
 	COUNT=1
@@ -80,17 +85,31 @@ fi
 
 go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" "$PKG" | tee "$TXT"
 
-awk '
-BEGIN { print "["; first = 1 }
+# Machine metadata: GOMAXPROCS (the effective worker count of the parallel
+# sub-benchmarks), the CPU model from go test's own `cpu:` line, and the
+# toolchain version. bench_check.sh uses gomaxprocs to decide whether the
+# committed speedup floors apply to this machine.
+GOMAXPROCS=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)}
+GOVERSION=$(go env GOVERSION)
+CPU=$(awk -F': ' '/^cpu:/ { sub(/^cpu: */, ""); print; exit }' "$TXT")
+[ -n "$CPU" ] || CPU=unknown
+
+awk -v suite="$SUITE" -v gover="$GOVERSION" -v gomaxprocs="$GOMAXPROCS" \
+	-v cpu="$CPU" -v count="$COUNT" '
+BEGIN {
+    printf("{\n  \"meta\":{\"suite\":\"%s\",\"go\":\"%s\",\"gomaxprocs\":%s,\"cpu\":\"%s\",\"count\":%s},\n", suite, gover, gomaxprocs, cpu, count)
+    print "  \"benchmarks\":["
+    first = 1
+}
 /^Benchmark/ && NF >= 4 {
     if (!first) printf(",\n")
     first = 0
-    printf("  {\"name\":\"%s\",\"iterations\":%s", $1, $2)
+    printf("    {\"name\":\"%s\",\"iterations\":%s", $1, $2)
     for (i = 3; i + 1 <= NF; i += 2)
         printf(",\"%s\":%s", $(i + 1), $i)
     printf("}")
 }
-END { print "\n]" }
+END { print "\n  ]\n}" }
 ' "$TXT" > "$JSON"
 
 echo "wrote $JSON"

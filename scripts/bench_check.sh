@@ -1,0 +1,119 @@
+#!/bin/sh
+# bench_check.sh — enforce the committed performance floors in
+# scripts/bench_floors.txt against the experiment suite benchmarks.
+#
+# Usage:
+#   scripts/bench_check.sh                        # run the bench, then check
+#   scripts/bench_check.sh BENCH_experiments.txt  # check an existing run
+#
+# Without an argument the script runs BenchmarkExperimentsSuite once
+# (-benchtime=1x; each sub-benchmark does an untimed warmup replay first, so
+# the measured numbers are exact steady-state costs). With an argument it
+# parses a previously captured `go test -bench` transcript instead — CI uses
+# this to check the same run it publishes as the BENCH_experiments artifact.
+#
+# Allocation floors are enforced unconditionally: allocs/op is a property of
+# the code, not the machine. Speedup floors (serial vs parallel wall-clock)
+# only hold on machines with enough cores; when GOMAXPROCS is below the
+# ref_gomaxprocs recorded in the floors file, the measured ratios are
+# printed as information and do not fail the check.
+set -eu
+cd "$(dirname "$0")/.."
+
+FLOORS=scripts/bench_floors.txt
+[ -f "$FLOORS" ] || {
+	echo "bench_check: missing $FLOORS" >&2
+	exit 2
+}
+
+if [ $# -ge 1 ]; then
+	TXT=$1
+	[ -f "$TXT" ] || {
+		echo "bench_check: no such bench transcript: $TXT" >&2
+		exit 2
+	}
+else
+	TXT=$(mktemp)
+	trap 'rm -f "$TXT"' EXIT
+	echo "bench_check: running BenchmarkExperimentsSuite (steady-state, -benchtime=1x)"
+	go test -run '^$' -bench 'ExperimentsSuite' -benchmem -benchtime=1x . | tee "$TXT"
+fi
+
+GOMAXPROCS=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}
+
+awk -v gomaxprocs="$GOMAXPROCS" '
+# Pass 1: the floors file.
+FNR == NR {
+	if ($0 ~ /^[ \t]*(#|$)/) next
+	if ($1 == "ref_gomaxprocs") ref = $2
+	else if ($1 == "allocs") amax[$2] = $3
+	else if ($1 == "speedup") smin[$2] = $3
+	else if ($1 == "speedup_geomean") gmin = $2
+	next
+}
+# Pass 2: the bench transcript. Lines look like
+#   BenchmarkExperimentsSuite/ticketq/serial  1  20089337 ns/op  ... 23404 allocs/op
+/^BenchmarkExperimentsSuite\// {
+	split($1, parts, "/")
+	driver = parts[2]
+	mode = parts[3]
+	sub(/-[0-9]+$/, "", mode)
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if ($(i + 1) == "ns/op") ns[driver, mode] = $i
+		if ($(i + 1) == "allocs/op") allocs[driver, mode] = $i
+	}
+	seen[driver] = 1
+}
+END {
+	fail = 0
+
+	# Allocation floors: machine-independent, always enforced.
+	for (d in amax) {
+		if (!((d, "serial") in allocs)) {
+			printf("bench_check: FAIL %s: no serial allocs/op in bench output\n", d)
+			fail = 1
+			continue
+		}
+		a = allocs[d, "serial"]
+		if (a + 0 > amax[d] + 0) {
+			printf("bench_check: FAIL %s: %d allocs/op exceeds floor %d\n", d, a, amax[d])
+			fail = 1
+		} else {
+			printf("bench_check: ok   %s: %d allocs/op (floor %d)\n", d, a, amax[d])
+		}
+	}
+
+	# Speedup floors: only meaningful with enough cores to parallelize.
+	enforce = (ref != "" && gomaxprocs + 0 >= ref + 0)
+	if (!enforce)
+		printf("bench_check: info: GOMAXPROCS=%d < ref_gomaxprocs=%d; speedup floors reported but not enforced\n", gomaxprocs, ref)
+	n = 0
+	logsum = 0
+	for (d in seen) {
+		if (!((d, "serial") in ns) || !((d, "parallel") in ns)) continue
+		r = ns[d, "serial"] / ns[d, "parallel"]
+		n++
+		logsum += log(r)
+		want = (d in smin) ? smin[d] : 0
+		if (enforce && want > 0 && r < want + 0) {
+			printf("bench_check: FAIL %s: parallel speedup %.2fx below floor %.2fx\n", d, r, want)
+			fail = 1
+		} else {
+			printf("bench_check: %s %s: parallel speedup %.2fx%s\n",
+				enforce && want > 0 ? "ok  " : "info", d, r,
+				want > 0 ? sprintf(" (floor %.2fx)", want) : "")
+		}
+	}
+	if (n > 0 && gmin != "") {
+		g = exp(logsum / n)
+		if (enforce && g < gmin + 0) {
+			printf("bench_check: FAIL suite: geomean speedup %.2fx below floor %.2fx\n", g, gmin)
+			fail = 1
+		} else {
+			printf("bench_check: %s suite: geomean speedup %.2fx (floor %.2fx)\n",
+				enforce ? "ok  " : "info", g, gmin)
+		}
+	}
+	exit fail
+}
+' "$FLOORS" "$TXT"
