@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint vet ci race test-race test-chaos cover fuzz bench bench-experiments bench-lint bench-check bench-profile clean
+.PHONY: all build test lint vet ci race test-race test-chaos cover fuzz bench bench-experiments bench-fleet bench-lint bench-check bench-profile clean
 
 all: build test
 
@@ -35,11 +35,13 @@ race:
 ## detector — the pool shares topologies and fault traces across workers, so
 ## this is the guard on that immutability contract. The experiments run
 ## covers the scenario-sharded drivers: the global RunMany work list, the
-## memoized topology/trace cache under concurrent misses, and per-worker
-## Scratch reuse.
+## memoized topology/trace cache under concurrent misses and FIFO eviction,
+## and per-worker Scratch reuse. The fleet run pins TestFleetMatchesSerial —
+## byte-identical supervisor snapshots for every shard/worker count — with
+## shard drains racing on the worker pool.
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/runner/...
-	$(GO) test -race -run 'TestParallelRunnerDeterminism|TestRunMany' ./internal/experiments
+	$(GO) test -race ./internal/sim/... ./internal/runner/... ./internal/fleet/...
+	$(GO) test -race -run 'TestParallelRunnerDeterminism|TestRunMany|TestMemoTrace|TestConcurrentRunMany|TestFleetShards' ./internal/experiments
 
 ## test-chaos: the deployment-path chaos matrix (DESIGN.md §7.3) under the
 ## race detector — netchaos fault injection on live TCP/UDP sockets, every
@@ -76,6 +78,13 @@ bench:
 bench-experiments:
 	./scripts/bench.sh experiments
 
+## bench-fleet: sustained corruption-event throughput over the 30-DCN /
+## 1M-link synthetic fleet, serial (Workers=1) vs parallel (Workers=NumCPU);
+## raw text goes to BENCH_fleet.txt and a parsed summary (including the
+## events/sec metric the floors ratchet) to BENCH_fleet.json.
+bench-fleet:
+	./scripts/bench.sh fleet
+
 ## bench-lint: corropt-lint wall-time — analyzer fan-out (BenchmarkLintRepo)
 ## and package load/type-check startup (BenchmarkLintLoad); raw text goes to
 ## BENCH_lint.txt and a parsed summary to BENCH_lint.json.
@@ -83,9 +92,11 @@ bench-lint:
 	./scripts/bench.sh lint
 
 ## bench-check: enforce the committed performance floors in
-## scripts/bench_floors.txt — per-driver allocs/op ceilings (always) and
-## serial-vs-parallel speedup floors (on machines with at least the
-## recorded reference core count). CI runs this on every push.
+## scripts/bench_floors.txt — per-driver allocs/op ceilings (always),
+## serial-vs-parallel speedup floors, and the fleet supervisor's events/sec
+## throughput + scaling floors (each speedup family gated on its own
+## reference core count). CI runs this on every push and fails — not
+## informs — whenever the runner meets the relevant ref_gomaxprocs.
 bench-check:
 	./scripts/bench_check.sh
 
@@ -98,4 +109,5 @@ bench-profile:
 
 clean:
 	rm -f BENCH_core.txt BENCH_core.json BENCH_experiments.txt BENCH_experiments.json BENCH_lint.txt BENCH_lint.json
+	rm -f BENCH_fleet.txt BENCH_fleet.json
 	rm -f BENCH_cpu.pprof BENCH_mem.pprof corropt.test

@@ -50,6 +50,7 @@ const (
 var DeterminismConfig = map[string]Rules{
 	"corropt/internal/sim":         RulesAll,
 	"corropt/internal/experiments": RulesAll,
+	"corropt/internal/fleet":       RulesAll,
 	"corropt/internal/core":        RulesAll,
 	"corropt/internal/topology":    RulesAll,
 	"corropt/internal/runner":      RulesAll,

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"corropt/internal/topology"
+)
+
+// scopedTestTopo is a 4-pod Clos whose pods partition into 4 independent
+// segments, with enough corrupting links per pod that the optimizer has both
+// safe disables and contested capacity decisions to make.
+func scopedTestTopo(t *testing.T) *topology.Topology {
+	t.Helper()
+	topo, err := topology.NewClos(topology.ClosConfig{
+		Pods:               4,
+		ToRsPerPod:         6,
+		AggsPerPod:         3,
+		Spines:             9,
+		SpineUplinksPerAgg: 3,
+		BreakoutSize:       0,
+	})
+	if err != nil {
+		t.Fatalf("NewClos: %v", err)
+	}
+	return topo
+}
+
+// corruptScopedPattern corrupts, in pods 0 and 2: every uplink of the pod's
+// first ToR (so disabling all of them would violate capacity), plus a few
+// agg→spine links.
+func corruptScopedPattern(net *Network, topo *topology.Topology, segs []topology.Segment) {
+	for _, si := range []int{0, 2} {
+		seg := segs[si]
+		tor := seg.ToRs[0]
+		for _, l := range topo.Switch(tor).Uplinks {
+			net.SetCorruption(l, 1e-3)
+		}
+		// Every third agg→spine link of the segment.
+		n := 0
+		for _, l := range seg.Links {
+			if topo.Switch(topo.Link(l).Lower).Stage == 1 {
+				if n%3 == 0 {
+					net.SetCorruption(l, 1e-4)
+				}
+				n++
+			}
+		}
+	}
+}
+
+// TestRunScopedMatchesRun pins the sharding contract: running the optimizer
+// once per cone-closed segment (scoped links + scoped ToR scan) chooses
+// exactly the links a single whole-topology Run would, and leaves the
+// network in the same state.
+func TestRunScopedMatchesRun(t *testing.T) {
+	topo := scopedTestTopo(t)
+	segs := topo.Partition()
+	if len(segs) != 4 {
+		t.Fatalf("got %d segments, want 4", len(segs))
+	}
+
+	const threshold = 1e-6
+	build := func() *Network {
+		net, err := NewNetwork(topo, 0.5)
+		if err != nil {
+			t.Fatalf("NewNetwork: %v", err)
+		}
+		corruptScopedPattern(net, topo, segs)
+		return net
+	}
+
+	netFull := build()
+	full, fullStats := NewOptimizer(netFull, nil, OptimizerConfig{}).Run(threshold)
+	if fullStats.Active == 0 || len(full) == 0 {
+		t.Fatalf("reference Run disabled nothing (stats %+v)", fullStats)
+	}
+	if len(full) == fullStats.Active {
+		t.Fatalf("reference Run disabled every active link; pattern does not exercise capacity decisions")
+	}
+
+	netScoped := build()
+	opt := NewOptimizer(netScoped, nil, OptimizerConfig{})
+	var scoped []topology.LinkID
+	activeTotal := 0
+	for _, seg := range segs {
+		scope := topology.NewLinkSet(topo.NumLinks())
+		for _, l := range seg.Links {
+			scope.Add(l)
+		}
+		chosen, st := opt.RunScoped(threshold, scope, seg.ToRs)
+		scoped = append(scoped, chosen...)
+		activeTotal += st.Active
+	}
+	if activeTotal != fullStats.Active {
+		t.Errorf("scoped runs saw %d active links, full run %d", activeTotal, fullStats.Active)
+	}
+
+	sortedFull := slices.Clone(full)
+	slices.Sort(sortedFull)
+	sortedScoped := slices.Clone(scoped)
+	slices.Sort(sortedScoped)
+	if !slices.Equal(sortedFull, sortedScoped) {
+		t.Fatalf("scoped disables %v != full-run disables %v", sortedScoped, sortedFull)
+	}
+	if got, want := netScoped.NumDisabled(), netFull.NumDisabled(); got != want {
+		t.Fatalf("scoped network has %d disabled, full has %d", got, want)
+	}
+	if !netScoped.Feasible(nil) || !netFull.Feasible(nil) {
+		t.Fatalf("networks left infeasible")
+	}
+}
+
+// TestRunScopedNilIsRun pins that a nil scope and nil ToR list degrade to
+// exactly Run, and that a full-topology scope does too.
+func TestRunScopedNilIsRun(t *testing.T) {
+	topo := scopedTestTopo(t)
+	segs := topo.Partition()
+	const threshold = 1e-6
+
+	var want []topology.LinkID
+	var wantStats OptimizeStats
+	for mode := 0; mode < 3; mode++ {
+		net, err := NewNetwork(topo, 0.5)
+		if err != nil {
+			t.Fatalf("NewNetwork: %v", err)
+		}
+		corruptScopedPattern(net, topo, segs)
+		opt := NewOptimizer(net, nil, OptimizerConfig{})
+		var got []topology.LinkID
+		var st OptimizeStats
+		switch mode {
+		case 0:
+			got, st = opt.Run(threshold)
+		case 1:
+			got, st = opt.RunScoped(threshold, nil, nil)
+		case 2:
+			all := topology.NewLinkSet(topo.NumLinks())
+			topo.Links(func(l *topology.Link) { all.Add(l.ID) })
+			got, st = opt.RunScoped(threshold, all, nil)
+		}
+		if mode == 0 {
+			want, wantStats = got, st
+			continue
+		}
+		if !slices.Equal(got, want) || st != wantStats {
+			t.Fatalf("mode %d: got %v (%+v), want %v (%+v)", mode, got, st, want, wantStats)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// cacheLen reports the cache's current size, checking map/order agreement.
+func cacheLen(t *testing.T) int {
+	t.Helper()
+	traceCache.mu.Lock()
+	defer traceCache.mu.Unlock()
+	if len(traceCache.m) != len(traceCache.order) {
+		t.Fatalf("cache map has %d entries, order slice %d", len(traceCache.m), len(traceCache.order))
+	}
+	return len(traceCache.m)
+}
+
+// TestMemoTraceSingleBuild pins the sync.Once contract: workers racing on
+// one key must share a single build — and a single entry — instead of
+// duplicating work.
+func TestMemoTraceSingleBuild(t *testing.T) {
+	var builds atomic.Int32
+	const key = "test/single-build"
+	const workers = 16
+	entries := make([]*traceEntry, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, err := memoTrace(key, func(e *traceEntry) {
+				builds.Add(1)
+				e.simSeed = 424242
+			})
+			if err != nil {
+				t.Errorf("memoTrace: %v", err)
+			}
+			entries[w] = e
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("%d builds for one key, want 1", n)
+	}
+	for w, e := range entries {
+		if e != entries[0] {
+			t.Errorf("worker %d got a different entry pointer", w)
+		}
+		if e.simSeed != 424242 {
+			t.Errorf("worker %d observed a half-built entry (simSeed=%d)", w, e.simSeed)
+		}
+	}
+}
+
+// TestMemoTraceFIFOEviction pins the eviction policy: inserting past the cap
+// evicts the oldest keys (which rebuild on re-request) while the newest stay
+// cached, and the cache never exceeds its cap.
+func TestMemoTraceFIFOEviction(t *testing.T) {
+	builds := make(map[string]int)
+	get := func(key string) {
+		if _, err := memoTrace(key, func(e *traceEntry) { builds[key]++ }); err != nil {
+			t.Fatalf("memoTrace(%s): %v", key, err)
+		}
+	}
+	// Flood the cache with more distinct keys than it can hold. Whatever
+	// was cached before this test is evicted along the way, leaving the
+	// cache holding exactly the last traceCacheCap keys.
+	const extra = 10
+	for i := 0; i < traceCacheCap+extra; i++ {
+		get(fmt.Sprintf("test/fifo-%03d", i))
+	}
+	if got := cacheLen(t); got != traceCacheCap {
+		t.Fatalf("cache holds %d entries after flood, want exactly %d", got, traceCacheCap)
+	}
+	// The newest keys must still be cached: re-requesting them must not
+	// rebuild.
+	for i := extra; i < traceCacheCap+extra; i++ {
+		get(fmt.Sprintf("test/fifo-%03d", i))
+	}
+	// The oldest keys were evicted: re-requesting them rebuilds (and in
+	// turn evicts the then-oldest survivors).
+	for i := 0; i < extra; i++ {
+		get(fmt.Sprintf("test/fifo-%03d", i))
+	}
+	for i := 0; i < traceCacheCap+extra; i++ {
+		key := fmt.Sprintf("test/fifo-%03d", i)
+		want := 1
+		if i < extra {
+			want = 2 // evicted by the flood's tail, rebuilt above
+		}
+		if builds[key] != want {
+			t.Errorf("%s built %d times, want %d", key, builds[key], want)
+		}
+	}
+}
+
+// TestMemoTraceConcurrentHammer drives the memo cache from 8 goroutines over
+// a keyspace larger than the cap, so hits, misses, same-key races, and FIFO
+// evictions of in-flight entries all interleave. Run under -race by `make
+// test-race`. Each build stamps the entry with a key-derived value; every
+// returned entry must carry its own key's stamp — an entry can be evicted
+// from the map while a caller still holds it, but it must never be reused
+// for a different key.
+func TestMemoTraceConcurrentHammer(t *testing.T) {
+	const (
+		workers  = 8
+		iters    = 2000
+		keyspace = traceCacheCap + 72
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k := (i*(w+3) + w) % keyspace
+				key := fmt.Sprintf("test/hammer-%03d", k)
+				want := uint64(1000 + k)
+				e, err := memoTrace(key, func(e *traceEntry) { e.simSeed = want })
+				if err != nil {
+					t.Errorf("memoTrace(%s): %v", key, err)
+					return
+				}
+				if e.simSeed != want {
+					t.Errorf("%s returned entry stamped %d, want %d", key, e.simSeed, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := cacheLen(t); got > traceCacheCap {
+		t.Errorf("cache grew to %d entries, cap is %d", got, traceCacheCap)
+	}
+}
+
+// TestConcurrentRunManyBatches runs two overlapping RunMany batches
+// concurrently — workers from both pools hammering the memo cache, the
+// scratch pools, and the runner at once — and checks both produce the bytes
+// a quiet serial run does.
+func TestConcurrentRunManyBatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays two experiment batches; skipped in -short mode")
+	}
+	ids := []string{"fig14", "sec2"}
+	cfg := Config{Scale: ScaleSmall, Seed: 1, Workers: 4}
+
+	want := make([][]byte, len(ids))
+	for i, id := range ids {
+		want[i] = renderReport(t, id, Config{Scale: ScaleSmall, Seed: 1, Workers: 1})
+	}
+
+	var wg sync.WaitGroup
+	got := make([][]*Report, 2)
+	errs := make([]error, 2)
+	for b := 0; b < 2; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[b], errs[b] = RunMany(ids, cfg)
+		}()
+	}
+	wg.Wait()
+	for b := 0; b < 2; b++ {
+		if errs[b] != nil {
+			t.Fatalf("batch %d: %v", b, errs[b])
+		}
+		for i, id := range ids {
+			var buf bytes.Buffer
+			if err := got[b][i].WriteTSV(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want[i]) {
+				t.Errorf("batch %d: %s differs from serial reference", b, id)
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package fleet
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"corropt/internal/topology"
+)
+
+// The benchmark fleet: 30 replicas of the 34,560-link Clos the experiment
+// suite calls ScaleLarge — 1,036,800 links total, exceeding the paper's 15
+// production DCNs / ~350K links. The replicas share one *Topology, so
+// partitioning and sub-topology construction are shared and only the
+// per-shard Networks are replicated, exactly the shape a real fleet of
+// same-generation DCNs has.
+const benchDCNs = 30
+
+var benchFleetOnce = sync.OnceValues(func() ([]DCN, []Event) {
+	topo, err := topology.NewClos(topology.ClosConfig{
+		Pods:               72,
+		ToRsPerPod:         56,
+		AggsPerPod:         6,
+		Spines:             144,
+		SpineUplinksPerAgg: 24,
+		BreakoutSize:       4,
+	})
+	if err != nil {
+		panic(err)
+	}
+	dcns := make([]DCN, benchDCNs)
+	for i := range dcns {
+		dcns[i] = DCN{Topo: topo}
+	}
+	return dcns, synthesizeEvents(dcns, 99, 200_000)
+})
+
+// BenchmarkFleetThroughput measures sustained corruption-event throughput
+// over the 1M-link fleet, serial (Workers=1) vs parallel (Workers=NumCPU),
+// both at the default one-shard-per-segment packing. The events/sec metric
+// feeds the bench_floors.txt ratchet via scripts/bench_check.sh.
+func BenchmarkFleetThroughput(b *testing.B) {
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			dcns, evs := benchFleetOnce()
+			sup, err := New(dcns, Config{Workers: bc.workers})
+			if err != nil {
+				b.Fatalf("New: %v", err)
+			}
+			links := 0
+			for _, d := range dcns {
+				links += d.Topo.NumLinks()
+			}
+			if links < 1_000_000 {
+				b.Fatalf("fleet has %d links, want >= 1M", links)
+			}
+			const batch = 20_000
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for lo := 0; lo < len(evs); lo += batch {
+					hi := min(lo+batch, len(evs))
+					if err := sup.Ingest(evs[lo:hi]); err != nil {
+						b.Fatalf("Ingest: %v", err)
+					}
+					if err := sup.Flush(); err != nil {
+						b.Fatalf("Flush: %v", err)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(evs))/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(links), "links")
+			b.ReportMetric(float64(len(dcns)), "dcns")
+		})
+	}
+}

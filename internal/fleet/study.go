@@ -1,0 +1,64 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"corropt/internal/faults"
+	"corropt/internal/optics"
+	"corropt/internal/runner"
+	"corropt/internal/sim"
+	"corropt/internal/topology"
+)
+
+// Member is one DCN of a fleet study: the immutable inputs one full
+// simulation needs. Members are built lazily by a MemberSource so a study
+// over many DCNs never holds every fault trace at once.
+type Member struct {
+	Topo    *topology.Topology
+	Tech    optics.Technology
+	Trace   []*faults.Fault
+	Horizon time.Duration
+	Sim     sim.Config
+}
+
+// MemberSource builds member i. It must be safe for concurrent calls with
+// distinct indices and deterministic per index — the parallel runner invokes
+// it from worker goroutines.
+type MemberSource func(i int) (*Member, error)
+
+// Study runs one full simulation per fleet member, fanned out on the worker
+// pool with per-worker sim.Scratch reuse. It is the replay-workload
+// counterpart to the Supervisor's live event path: experiments that simulate
+// whole fleets (the §7.2 deployment-scale study) run on it.
+type Study struct {
+	n   int
+	src MemberSource
+}
+
+// NewStudy returns a study over n members.
+func NewStudy(n int, src MemberSource) *Study {
+	return &Study{n: n, src: src}
+}
+
+// Len reports the number of members.
+func (st *Study) Len() int { return st.n }
+
+// RunMember simulates member i on the given scratch.
+func (st *Study) RunMember(i int, sc *sim.Scratch) (*sim.Result, error) {
+	m, err := st.src(i)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: building member %d: %w", i, err)
+	}
+	s, err := sim.NewWithScratch(m.Topo, m.Tech, m.Sim, sc)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: member %d: %w", i, err)
+	}
+	return s.Run(m.Trace, m.Horizon)
+}
+
+// Run simulates every member and returns the results in member order,
+// byte-identical for any worker count.
+func (st *Study) Run(workers int) ([]*sim.Result, error) {
+	return runner.MapScratch(workers, st.n, sim.NewScratch, st.RunMember)
+}

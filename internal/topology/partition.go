@@ -1,0 +1,184 @@
+package topology
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Segment is one atomic unit of the static sharding axis: a set of links
+// closed under the valley-free upstream cones of its ToRs, together with
+// those ToRs. Two links land in the same segment exactly when they are
+// connected through a non-top switch, which is the transitive closure of
+// "some ToR's upstream cone contains both".
+//
+// The boundary invariant that makes segments shardable: a ToR's valley-free
+// path count depends only on links in its own upstream cone, and the cone of
+// every ToR in a segment is contained in that segment's link set. Disabling
+// or enabling a link therefore changes the counts of ToRs in its own segment
+// only — a shard owning a union of whole segments can run
+// PathCounter.Apply/Revert locally and never needs a global rescan.
+//
+// Links reachable from no ToR (a switch chain with no ToR below it) attach
+// to whatever segment they share a non-top switch with, or form ToR-less
+// segments of their own; disabling them changes no ToR's count.
+type Segment struct {
+	// Links is the segment's link set, ascending.
+	Links []LinkID
+	// ToRs are the stage-0 switches whose upstream cones the segment
+	// closes over, ascending. Empty for a ToR-less orphan segment.
+	ToRs []SwitchID
+}
+
+// Partition splits the topology's links into disjoint cone-closed segments,
+// ordered by their smallest link id. Every link appears in exactly one
+// segment and every ToR in exactly one segment (its cone's). On a Clos
+// fabric the segments are exactly the pods: pods share spine switches but
+// never links, and the top stage does not merge components.
+func (t *Topology) Partition() []Segment {
+	if t.NumLinks() == 0 {
+		// Degenerate single-stage topology: one segment holding every
+		// ToR and no links.
+		return []Segment{{ToRs: slices.Clone(t.ToRs())}}
+	}
+
+	// Union-find over links: two links share a segment iff they are
+	// incident to a common switch below the top stage. Top-stage switches
+	// are excluded — valley-free paths end there, so two pods hanging off
+	// the same spine stay separate segments.
+	parent := make([]int32, t.NumLinks())
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b LinkID) {
+		ra, rb := find(int32(a)), find(int32(b))
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	top := Stage(t.Stages() - 1)
+	t.Switches(func(sw *Switch) {
+		if sw.Stage == top {
+			return
+		}
+		first := NoLink
+		for _, l := range sw.Uplinks {
+			if first == NoLink {
+				first = l
+			} else {
+				union(first, l)
+			}
+		}
+		for _, l := range sw.Downlinks {
+			if first == NoLink {
+				first = l
+			} else {
+				union(first, l)
+			}
+		}
+	})
+
+	// Number segments by ascending smallest member link, so the partition
+	// order is a pure function of the topology.
+	segOf := make([]int32, t.NumLinks())
+	for i := range segOf {
+		segOf[i] = -1
+	}
+	var segs []Segment
+	for l := 0; l < t.NumLinks(); l++ {
+		r := find(int32(l))
+		if segOf[r] < 0 {
+			segOf[r] = int32(len(segs))
+			segs = append(segs, Segment{})
+		}
+		si := segOf[r]
+		segs[si].Links = append(segs[si].Links, LinkID(l))
+	}
+	for _, tor := range t.ToRs() {
+		up := t.Switch(tor).Uplinks
+		if len(up) == 0 {
+			// Unreachable with links present: any link forces ≥2
+			// stages, and Build rejects below-top switches without
+			// uplinks. Kept as a guard for hand-built topologies.
+			continue
+		}
+		si := segOf[find(int32(up[0]))]
+		segs[si].ToRs = append(segs[si].ToRs, tor)
+	}
+	return segs
+}
+
+// SegmentGraph is a standalone compact topology induced by one or more
+// segments of a source topology, with the id-mapping tables needed to route
+// events between the two id spaces.
+type SegmentGraph struct {
+	// Topo is the induced topology. Switches keep their source names,
+	// stages and pods; breakout groups carry over unchanged (breakout
+	// siblings share a lower switch, so they are never split across
+	// segments).
+	Topo *Topology
+	// Links maps local link id → source link id, ascending in both id
+	// spaces: local id i is the i-th smallest source link.
+	Links []LinkID
+	// Switches maps local switch id → source switch id, ascending in both
+	// id spaces.
+	Switches []SwitchID
+}
+
+// SegmentGraph builds the induced subgraph of the given segments. The
+// segments must come from this topology's Partition (link-disjoint); at
+// least one must contain a ToR, since a topology cannot be built without
+// one.
+func (t *Topology) SegmentGraph(segs []Segment) (*SegmentGraph, error) {
+	nLinks := 0
+	for _, s := range segs {
+		nLinks += len(s.Links)
+	}
+	if nLinks == 0 {
+		return nil, fmt.Errorf("topology: segment graph needs at least one link")
+	}
+	links := make([]LinkID, 0, nLinks)
+	for _, s := range segs {
+		links = append(links, s.Links...)
+	}
+	slices.Sort(links)
+
+	// Collect endpoint switches, ascending by source id.
+	inGraph := make([]bool, t.NumSwitches())
+	for _, l := range links {
+		lk := t.Link(l)
+		inGraph[lk.Lower] = true
+		inGraph[lk.Upper] = true
+	}
+	switches := make([]SwitchID, 0, 2*len(links))
+	localSwitch := make([]SwitchID, t.NumSwitches())
+	for s := range inGraph {
+		if inGraph[s] {
+			localSwitch[s] = SwitchID(len(switches))
+			switches = append(switches, SwitchID(s))
+		}
+	}
+
+	b := NewBuilder()
+	for _, src := range switches {
+		sw := t.Switch(src)
+		b.AddSwitch(sw.Name, sw.Stage, sw.Pod)
+	}
+	for _, src := range links {
+		lk := t.Link(src)
+		b.AddLink(localSwitch[lk.Lower], localSwitch[lk.Upper], lk.BreakoutGroup)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("topology: segment graph: %w", err)
+	}
+	return &SegmentGraph{Topo: topo, Links: links, Switches: switches}, nil
+}

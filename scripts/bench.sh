@@ -6,13 +6,17 @@
 #   scripts/bench.sh              # core suite (default)
 #   scripts/bench.sh core         # fast checker / optimizer / path counting
 #   scripts/bench.sh experiments  # experiment drivers, serial vs parallel
+#   scripts/bench.sh fleet        # fleet supervisor events/sec, 1M-link fleet
 #   scripts/bench.sh lint         # corropt-lint wall-time (load + analyze)
 #
 # The core suite writes BENCH_core.{txt,json}; the experiments suite runs
 # BenchmarkExperimentsSuite (each multi-scenario driver at ScaleSmall with
 # Workers=1 and Workers=NumCPU) and writes BENCH_experiments.{txt,json}; the
-# lint suite runs BenchmarkLintRepo / BenchmarkLintLoad in internal/analysis
-# and writes BENCH_lint.{txt,json}.
+# fleet suite runs BenchmarkFleetThroughput (sustained corruption-event
+# throughput over the 30-DCN / 1M-link synthetic fleet, serial vs parallel
+# shard drains, events/sec as a custom metric) and writes
+# BENCH_fleet.{txt,json}; the lint suite runs BenchmarkLintRepo /
+# BenchmarkLintLoad in internal/analysis and writes BENCH_lint.{txt,json}.
 #
 # The JSON is an object: a "meta" block recording the machine the numbers
 # came from (benchmark results are only comparable against floors recorded
@@ -61,6 +65,15 @@ experiments)
 	# sub-benchmark keeps the suite in minutes.
 	COUNT=1
 	;;
+fleet)
+	TXT=BENCH_fleet.txt
+	JSON=BENCH_fleet.json
+	PATTERN='FleetThroughput'
+	# Each iteration replays a 200K-event stream over the 1M-link fleet;
+	# one timed run per sub-benchmark is plenty of signal.
+	COUNT=1
+	PKG=./internal/fleet
+	;;
 lint)
 	TXT=BENCH_lint.txt
 	JSON=BENCH_lint.json
@@ -69,7 +82,7 @@ lint)
 	PKG=./internal/analysis
 	;;
 *)
-	echo "bench.sh: unknown suite '$SUITE' (want core, experiments, or lint)" >&2
+	echo "bench.sh: unknown suite '$SUITE' (want core, experiments, fleet, or lint)" >&2
 	exit 2
 	;;
 esac

@@ -1,22 +1,37 @@
 #!/bin/sh
 # bench_check.sh — enforce the committed performance floors in
-# scripts/bench_floors.txt against the experiment suite benchmarks.
+# scripts/bench_floors.txt against captured benchmark transcripts.
 #
 # Usage:
-#   scripts/bench_check.sh                        # run the bench, then check
+#   scripts/bench_check.sh                        # run the experiments bench, then check
 #   scripts/bench_check.sh BENCH_experiments.txt  # check an existing run
+#   scripts/bench_check.sh BENCH_experiments.txt BENCH_fleet.txt
+#                                                 # check both suites at once
 #
-# Without an argument the script runs BenchmarkExperimentsSuite once
+# Without arguments the script runs BenchmarkExperimentsSuite once
 # (-benchtime=1x; each sub-benchmark does an untimed warmup replay first, so
-# the measured numbers are exact steady-state costs). With an argument it
-# parses a previously captured `go test -bench` transcript instead — CI uses
-# this to check the same run it publishes as the BENCH_experiments artifact.
+# the measured numbers are exact steady-state costs). With arguments it
+# parses previously captured `go test -bench` transcripts instead — CI uses
+# this to check the same runs it publishes as the BENCH_* artifacts. Each
+# floor family is checked when its suite's benchmark lines appear in the
+# given transcripts (so a fleet-only transcript checks only fleet floors);
+# within a present suite a missing line is a failure, and transcripts with
+# no recognized benchmark lines at all fail outright.
 #
-# Allocation floors are enforced unconditionally: allocs/op is a property of
-# the code, not the machine. Speedup floors (serial vs parallel wall-clock)
-# only hold on machines with enough cores; when GOMAXPROCS is below the
-# ref_gomaxprocs recorded in the floors file, the measured ratios are
-# printed as information and do not fail the check.
+# Three floor families:
+#   - Allocation floors (allocs <driver> <max>) are enforced unconditionally:
+#     allocs/op is a property of the code, not the machine.
+#   - Experiment speedup floors (speedup, speedup_geomean) compare serial vs
+#     parallel wall-clock and only hold with enough cores: they are enforced
+#     — CI FAILS, not informs — when GOMAXPROCS >= ref_gomaxprocs, and
+#     reported as information below that.
+#   - Fleet floors: fleet_events_sec is a throughput floor on the fleet
+#     supervisor's serial events/sec metric, enforced whenever a
+#     BenchmarkFleetThroughput transcript is given (the committed floor
+#     carries ~4x headroom below the slowest machine measured, so it holds
+#     even on single-core runners); fleet_speedup is the parallel/serial
+#     events/sec scaling floor, gated on fleet_ref_gomaxprocs the same way
+#     experiment speedups gate on ref_gomaxprocs.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,31 +42,36 @@ FLOORS=scripts/bench_floors.txt
 }
 
 if [ $# -ge 1 ]; then
-	TXT=$1
-	[ -f "$TXT" ] || {
-		echo "bench_check: no such bench transcript: $TXT" >&2
-		exit 2
-	}
+	for f in "$@"; do
+		[ -f "$f" ] || {
+			echo "bench_check: no such bench transcript: $f" >&2
+			exit 2
+		}
+	done
 else
 	TXT=$(mktemp)
 	trap 'rm -f "$TXT"' EXIT
 	echo "bench_check: running BenchmarkExperimentsSuite (steady-state, -benchtime=1x)"
 	go test -run '^$' -bench 'ExperimentsSuite' -benchmem -benchtime=1x . | tee "$TXT"
+	set -- "$TXT"
 fi
 
 GOMAXPROCS=${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}
 
 awk -v gomaxprocs="$GOMAXPROCS" '
-# Pass 1: the floors file.
-FNR == NR {
+# Pass 1: the floors file (always the first input file).
+FNR == NR && FILENAME == ARGV[1] {
 	if ($0 ~ /^[ \t]*(#|$)/) next
 	if ($1 == "ref_gomaxprocs") ref = $2
 	else if ($1 == "allocs") amax[$2] = $3
 	else if ($1 == "speedup") smin[$2] = $3
 	else if ($1 == "speedup_geomean") gmin = $2
+	else if ($1 == "fleet_ref_gomaxprocs") fref = $2
+	else if ($1 == "fleet_events_sec") fevmin = $2
+	else if ($1 == "fleet_speedup") fsmin = $2
 	next
 }
-# Pass 2: the bench transcript. Lines look like
+# Pass 2+: the bench transcripts. Experiment lines look like
 #   BenchmarkExperimentsSuite/ticketq/serial  1  20089337 ns/op  ... 23404 allocs/op
 /^BenchmarkExperimentsSuite\// {
 	split($1, parts, "/")
@@ -63,12 +83,29 @@ FNR == NR {
 		if ($(i + 1) == "allocs/op") allocs[driver, mode] = $i
 	}
 	seen[driver] = 1
+	expseen = 1
+}
+# Fleet lines carry the custom events/sec metric:
+#   BenchmarkFleetThroughput/serial-4  1  ... ns/op  30.00 dcns  590471 events/sec  1036800 links
+/^BenchmarkFleetThroughput\// {
+	split($1, parts, "/")
+	mode = parts[2]
+	sub(/-[0-9]+$/, "", mode)
+	for (i = 3; i + 1 <= NF; i += 2)
+		if ($(i + 1) == "events/sec") fev[mode] = $i
+	fleetseen = 1
 }
 END {
 	fail = 0
 
-	# Allocation floors: machine-independent, always enforced.
-	for (d in amax) {
+	if (!expseen && !fleetseen) {
+		printf("bench_check: FAIL: no recognized benchmark lines in the given transcripts\n")
+		exit 1
+	}
+
+	# Allocation floors: machine-independent, enforced whenever the
+	# experiments suite was run.
+	if (expseen) for (d in amax) {
 		if (!((d, "serial") in allocs)) {
 			printf("bench_check: FAIL %s: no serial allocs/op in bench output\n", d)
 			fail = 1
@@ -83,10 +120,10 @@ END {
 		}
 	}
 
-	# Speedup floors: only meaningful with enough cores to parallelize.
+	# Experiment speedup floors: only meaningful with enough cores.
 	enforce = (ref != "" && gomaxprocs + 0 >= ref + 0)
-	if (!enforce)
-		printf("bench_check: info: GOMAXPROCS=%d < ref_gomaxprocs=%d; speedup floors reported but not enforced\n", gomaxprocs, ref)
+	if (expseen && !enforce)
+		printf("bench_check: info: GOMAXPROCS=%d < ref_gomaxprocs=%d; experiment speedup floors reported but not enforced\n", gomaxprocs, ref)
 	n = 0
 	logsum = 0
 	for (d in seen) {
@@ -114,6 +151,36 @@ END {
 				enforce ? "ok  " : "info", g, gmin)
 		}
 	}
+
+	# Fleet floors: skipped entirely when no fleet transcript was given.
+	if (fleetseen) {
+		if (fevmin != "") {
+			if (!("serial" in fev)) {
+				printf("bench_check: FAIL fleet: no serial events/sec in bench output\n")
+				fail = 1
+			} else if (fev["serial"] + 0 < fevmin + 0) {
+				printf("bench_check: FAIL fleet: serial throughput %d events/sec below floor %d\n", fev["serial"], fevmin)
+				fail = 1
+			} else {
+				printf("bench_check: ok   fleet: serial throughput %d events/sec (floor %d)\n", fev["serial"], fevmin)
+			}
+		}
+		fenforce = (fref != "" && gomaxprocs + 0 >= fref + 0)
+		if (("serial" in fev) && ("parallel" in fev) && fev["serial"] + 0 > 0) {
+			fr = fev["parallel"] / fev["serial"]
+			if (!fenforce) {
+				printf("bench_check: info fleet: parallel scaling %.2fx (GOMAXPROCS=%d < fleet_ref_gomaxprocs=%s; floor %.2fx not enforced)\n", fr, gomaxprocs, fref, fsmin + 0)
+			} else if (fsmin != "" && fr < fsmin + 0) {
+				printf("bench_check: FAIL fleet: parallel scaling %.2fx below floor %.2fx\n", fr, fsmin)
+				fail = 1
+			} else {
+				printf("bench_check: ok   fleet: parallel scaling %.2fx (floor %.2fx)\n", fr, fsmin + 0)
+			}
+		} else if (fenforce && fsmin != "") {
+			printf("bench_check: FAIL fleet: missing serial/parallel events/sec for scaling floor\n")
+			fail = 1
+		}
+	}
 	exit fail
 }
-' "$FLOORS" "$TXT"
+' "$FLOORS" "$@"

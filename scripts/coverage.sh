@@ -1,10 +1,12 @@
 #!/bin/sh
-# coverage.sh — per-package coverage ratchet for the deployment path.
+# coverage.sh — per-package coverage ratchet for the deployment path and
+# the fleet supervisor.
 #
 # The chaos harness (DESIGN.md §7.3) is only worth its keep while the
-# protocol packages it exercises stay well covered, so this gate fails the
-# build when any ratcheted package's statement coverage drops below its
-# recorded floor.
+# protocol packages it exercises stay well covered, and the fleet
+# supervisor's determinism contract (DESIGN.md §7.5) only while its shard /
+# merge / snapshot paths are, so this gate fails the build when any
+# ratcheted package's statement coverage drops below its recorded floor.
 #
 # Usage:
 #   scripts/coverage.sh          check against scripts/coverage_floors.txt
@@ -17,7 +19,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PACKAGES="corropt/internal/backoff corropt/internal/ctlplane corropt/internal/detector corropt/internal/netchaos corropt/internal/snmplite"
+PACKAGES="corropt/internal/backoff corropt/internal/ctlplane corropt/internal/detector corropt/internal/fleet corropt/internal/netchaos corropt/internal/snmplite"
 FLOORS=scripts/coverage_floors.txt
 MARGIN=2.0 # update mode records measured - MARGIN
 mode="${1:-check}"
