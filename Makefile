@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint vet ci race test-race test-chaos cover fuzz bench bench-experiments bench-fleet bench-lint bench-check bench-profile clean
+.PHONY: all build test lint vet ci race test-race test-chaos cover fuzz bench bench-experiments bench-fleet bench-hotpath bench-lint bench-check bench-profile clean
 
 all: build test
 
@@ -16,8 +16,8 @@ vet:
 
 ## lint: the full static-analysis gate — go vet, the repository's own
 ## corropt-lint analyzer suite (nodeterminism, maprange, errwrap, mutexheld,
-## lockorder, gorolife, aliasescape, stalecache; see DESIGN.md §8), and
-## staticcheck when the binary is installed. Exits
+## lockorder, gorolife, aliasescape, stalecache, hotalloc, floatorder; see
+## DESIGN.md §8), and staticcheck when the binary is installed. Exits
 ## non-zero on any finding; `//lint:allow <analyzer> <reason>` suppresses a
 ## finding on its own or the following line and the reason is mandatory.
 lint:
@@ -85,6 +85,14 @@ bench-experiments:
 bench-fleet:
 	./scripts/bench.sh fleet
 
+## bench-hotpath: the hot-path proof benches — one isolated benchmark per
+## `//lint:hotpath` root with a hotpath floor in scripts/bench_floors.txt
+## (fast checker, incremental path counting, penalty fold, sim settle, fleet
+## Route), exact single-replay allocation counts; raw text goes to
+## BENCH_hotpath.txt and a parsed summary to BENCH_hotpath.json.
+bench-hotpath:
+	./scripts/bench.sh hotpath
+
 ## bench-lint: corropt-lint wall-time — analyzer fan-out (BenchmarkLintRepo)
 ## and package load/type-check startup (BenchmarkLintLoad); raw text goes to
 ## BENCH_lint.txt and a parsed summary to BENCH_lint.json.
@@ -109,5 +117,5 @@ bench-profile:
 
 clean:
 	rm -f BENCH_core.txt BENCH_core.json BENCH_experiments.txt BENCH_experiments.json BENCH_lint.txt BENCH_lint.json
-	rm -f BENCH_fleet.txt BENCH_fleet.json
+	rm -f BENCH_fleet.txt BENCH_fleet.json BENCH_hotpath.txt BENCH_hotpath.json
 	rm -f BENCH_cpu.pprof BENCH_mem.pprof corropt.test

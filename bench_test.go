@@ -118,6 +118,7 @@ func largeNetwork(b *testing.B, capacity float64, nCorrupt int) (*Network, []Lin
 func BenchmarkFastChecker(b *testing.B) {
 	net, corrupting := largeNetwork(b, 0.75, 200)
 	fc := NewFastChecker(net)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		l := corrupting[i%len(corrupting)]

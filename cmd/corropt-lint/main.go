@@ -1,25 +1,33 @@
 // Command corropt-lint is the multichecker driver for the repository's
 // determinism & safety analyzer suite (internal/analysis): nodeterminism,
-// maprange, errwrap, mutexheld, and the flow-powered lockorder, gorolife,
-// aliasescape, and stalecache. It is the custom third leg of `make lint`
-// next to `go vet` and staticcheck, and the permanent CI gate on the
-// determinism contract behind the §7 experiment reports.
+// maprange, errwrap, mutexheld, the flow-powered lockorder, gorolife,
+// aliasescape, and stalecache, and the call-graph proof analyzers hotalloc
+// and floatorder. It is the custom third leg of `make lint` next to
+// `go vet` and staticcheck, and the permanent CI gate on the determinism
+// contract behind the §7 experiment reports.
 //
 // Usage:
 //
-//	corropt-lint [-list] [-json] [-baseline file] [-workers n] [packages]
+//	corropt-lint [-list] [-json] [-baseline file] [-workers n] [-why] [packages]
 //
 // Packages default to ./... relative to the current directory. All packages
 // are loaded up front and summarized into one module-wide flow world (lock
-// graph, goroutine join facts, alias-returning accessors), then the
+// graph, goroutine join facts, alias-returning accessors, allocation and
+// float-accumulation effects over the static call graph), then the
 // analyzers run per package on a bounded worker pool (internal/runner) and
 // the findings are merged in deterministic package/position order — output
 // is byte-identical for any -workers value.
 //
-// -json emits the findings as a JSON array ({file, line, col, analyzer,
-// message, suppressed, baselined}), including suppressed ones so the
-// `//lint:allow` exception inventory stays visible to tooling; text output
-// prints only the live findings.
+// -json emits an object: "stats" summarizes the flow world's call graph
+// (packages, functions, func_lits, call_edges, hotpath_roots), and
+// "findings" holds the findings ({file, line, col, analyzer, message,
+// suppressed, baselined}), including suppressed ones so the `//lint:allow`
+// exception inventory stays visible to tooling; text output prints only the
+// live findings.
+//
+// -why expands the `(chain: root -> ... -> callee)` suffix hotalloc attaches
+// to its findings onto indented continuation lines, one hop per line, so
+// long cross-package chains stay readable in terminals.
 //
 // -baseline ratchets: the file holds one `file: analyzer: message` line per
 // accepted legacy finding (line numbers are deliberately absent so
@@ -41,8 +49,28 @@ import (
 	"strings"
 
 	"corropt/internal/analysis"
+	"corropt/internal/analysis/flow"
 	"corropt/internal/runner"
 )
+
+// jsonReport is the -json wire form: call-graph stats from the shared flow
+// world, then every finding.
+type jsonReport struct {
+	Stats    flow.WorldStats `json:"stats"`
+	Findings []jsonFinding   `json:"findings"`
+}
+
+// splitChain splits the "(chain: a -> b)" suffix hotalloc appends off a
+// message, returning the bare message and the hop list (nil when the
+// message carries no chain).
+func splitChain(msg string) (string, []string) {
+	i := strings.LastIndex(msg, " (chain: ")
+	if i < 0 || !strings.HasSuffix(msg, ")") {
+		return msg, nil
+	}
+	inner := msg[i+len(" (chain: ") : len(msg)-1]
+	return msg[:i], strings.Split(inner, " -> ")
+}
 
 // jsonFinding is the -json wire form of one finding.
 type jsonFinding struct {
@@ -83,11 +111,12 @@ func readBaseline(path string) (map[string]bool, error) {
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (including suppressed ones)")
+	jsonOut := flag.Bool("json", false, "emit an object with call-graph stats and all findings (including suppressed ones)")
 	baselinePath := flag.String("baseline", "", "ratchet `file` of accepted findings (file: analyzer: message per line)")
 	workers := flag.Int("workers", 0, "analyzer worker pool size (<=0: one per CPU); output is identical for any value")
+	why := flag.Bool("why", false, "expand hotalloc call chains onto indented lines")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: corropt-lint [-list] [-json] [-baseline file] [-workers n] [packages]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: corropt-lint [-list] [-json] [-baseline file] [-workers n] [-why] [packages]\n\n")
 		fmt.Fprintf(os.Stderr, "Runs the determinism & safety analyzer suite; see DESIGN.md §8.\n")
 		flag.PrintDefaults()
 	}
@@ -169,7 +198,8 @@ func main() {
 		if out == nil {
 			out = []jsonFinding{}
 		}
-		if err := enc.Encode(out); err != nil {
+		report := jsonReport{Stats: world.Stats(), Findings: out}
+		if err := enc.Encode(report); err != nil {
 			fail(err)
 		}
 	} else {
@@ -181,7 +211,19 @@ func main() {
 			if f.Baselined {
 				suffix = " (baselined)"
 			}
-			fmt.Printf("%s:%d:%d: %s: %s%s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message, suffix)
+			msg := f.Message
+			var chain []string
+			if *why {
+				msg, chain = splitChain(msg)
+			}
+			fmt.Printf("%s:%d:%d: %s: %s%s\n", f.File, f.Line, f.Col, f.Analyzer, msg, suffix)
+			for i, hop := range chain {
+				if i == 0 {
+					fmt.Printf("\tchain: %s\n", hop)
+				} else {
+					fmt.Printf("\t    -> %s\n", hop)
+				}
+			}
 		}
 	}
 	if live > 0 {

@@ -100,11 +100,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // All returns the canonical analyzer suite run by cmd/corropt-lint and
 // `make lint`: nodeterminism, maprange, errwrap, and mutexheld over their
 // repository-wide default configurations, plus the flow-powered lockorder,
-// gorolife, aliasescape, and stalecache.
+// gorolife, aliasescape, stalecache, and the call-graph proof analyzers
+// hotalloc and floatorder.
 func All() []*Analyzer {
 	return []*Analyzer{
 		NoDeterminism, MapRange, ErrWrap, MutexHeld,
 		LockOrder, GoroLife, AliasEscape, StaleCache,
+		HotAlloc, FloatOrder,
 	}
 }
 

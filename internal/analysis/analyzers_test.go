@@ -96,3 +96,23 @@ func TestStaleCache(t *testing.T) {
 	}})
 	analysistest.Run(t, "testdata", a, "stale")
 }
+
+// TestHotAlloc pins the hotalloc analyzer against single-package and
+// cross-package goldens: direct allocations, multi-hop and shortest-path
+// chains, chains through inline func literals, dynamic-call and
+// external-callee unprovability, map writes and goroutine spawns — all
+// reported at the root declaration — plus the two sanction shapes
+// (lint:allow at the allocation site, including across packages, and at the
+// root) and the math / sync/atomic allowlist.
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.HotAlloc, "hotal", "hotalroot", "hotaldep")
+}
+
+// TestFloatOrder pins the floatorder analyzer: += / -= / x = x + y folds of
+// float accumulators over map iteration or channel arrival order are
+// flagged (including struct-field accumulators and direct receives), while
+// sorted-key sweeps, integer folds, loop-local accumulators, and annotated
+// folds stay silent.
+func TestFloatOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.FloatOrder, "floatord")
+}

@@ -1,0 +1,518 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file collects the allocation-effect and float-accumulation facts that
+// back the hotalloc and floatorder analyzers: which operations in a function
+// body may hit the heap, which static calls could reach one transitively
+// (closed over the call graph in World.Finalize, like the lock and may-block
+// summaries), and which floating-point reductions fold their terms in a
+// nondeterministic order.
+
+// An AllocSite is one operation that may allocate on the heap: make/new,
+// append growth, a map write, a composite literal that escapes to the heap,
+// closure capture, interface boxing, string concatenation, a goroutine
+// spawn, or a call the analysis cannot prove allocation-free (dynamic calls
+// and non-allowlisted stdlib calls are recorded at classification time).
+type AllocSite struct {
+	// What describes the operation ("append may grow its backing array").
+	What string
+	Pos  token.Pos
+	// Sanctioned is set when the site's line carries a
+	// `//lint:allow hotalloc <reason>` annotation (on the line itself or the
+	// line above, mirroring the analyzer-level allow machinery). Sanctioned
+	// sites are invisible to the hot-path walk — this is how cross-package
+	// escapes are sanctioned at the site rather than at every root that
+	// reaches it. Reason-less annotations are still flagged by the standard
+	// lintallow validation.
+	Sanctioned bool
+}
+
+// A CallSite is one static call with its position — unlike FuncFacts.Calls
+// it is not deduplicated, so the hot-path walk can report the exact line a
+// chain passes through and honor per-line sanctions.
+type CallSite struct {
+	Callee *types.Func
+	Pos    token.Pos
+	// Sanctioned: the call line carries `//lint:allow hotalloc <reason>`;
+	// the callee's whole subtree is accepted as a sanctioned escape.
+	Sanctioned bool
+}
+
+// A FloatAccum is one order-sensitive floating-point reduction: a +=/-=
+// (or x = x + y) fold whose accumulator lives outside the loop and whose
+// terms arrive in map-iteration or goroutine/channel-arrival order.
+type FloatAccum struct {
+	// What names the nondeterministic order source.
+	What string
+	Pos  token.Pos
+}
+
+// nonAllocCalls are standard-library functions and methods known not to
+// allocate, matched by types.Func.FullName. Calls to stdlib callees outside
+// this table (and the package allowlist in NonAllocCallee) are conservatively
+// treated as potential allocations: the analysis sees no body for them, so
+// "cannot prove allocation-free" is the sound default.
+var nonAllocCalls = map[string]bool{
+	"(time.Duration).Seconds":      true,
+	"(time.Duration).Nanoseconds":  true,
+	"(time.Duration).Microseconds": true,
+	"(time.Duration).Milliseconds": true,
+	"(time.Duration).Minutes":      true,
+	"(time.Duration).Hours":        true,
+	"(time.Time).Sub":              true,
+	"(time.Time).Before":           true,
+	"(time.Time).After":            true,
+	"(time.Time).Equal":            true,
+	"(time.Time).IsZero":           true,
+	"(time.Time).Unix":             true,
+	"(time.Time).UnixNano":         true,
+	"(*sync.Mutex).Lock":           true,
+	"(*sync.Mutex).Unlock":         true,
+	"(*sync.Mutex).TryLock":        true,
+	"(*sync.RWMutex).Lock":         true,
+	"(*sync.RWMutex).Unlock":       true,
+	"(*sync.RWMutex).RLock":        true,
+	"(*sync.RWMutex).RUnlock":      true,
+	"(*sync.WaitGroup).Add":        true,
+	"(*sync.WaitGroup).Done":       true,
+}
+
+// NonAllocCallee reports whether a callee outside the analyzed module is
+// known not to allocate: everything in math, math/bits, and sync/atomic,
+// plus the nonAllocCalls table (duration arithmetic, mutex operations).
+func NonAllocCallee(fn *types.Func) bool {
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "math", "math/bits", "sync/atomic":
+			return true
+		}
+	}
+	return nonAllocCalls[fn.FullName()]
+}
+
+// FuncDisplayName returns fn's name with its package path stripped, the
+// form FuncFacts.Name uses ("(*PathCounter).Apply").
+func FuncDisplayName(fn *types.Func) string { return displayName(fn) }
+
+// hotallocAllowLines scans one file's comments for line-scoped
+// `//lint:allow hotalloc` annotations and returns the sanctioned line set
+// (the annotation's line and the line below, mirroring collectAllows in
+// internal/analysis). The flow layer duplicates this one rule because alloc
+// sites are sanctioned at summarize time — a root in another package never
+// sees the annotation's package pass — while reason validation stays with
+// the analyzer-level lintallow machinery.
+func hotallocAllowLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	var lines map[int]bool
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			fields := strings.Fields(text)
+			if len(fields) < 2 || fields[0] != "lint:allow" || fields[1] != "hotalloc" {
+				continue
+			}
+			if lines == nil {
+				lines = make(map[int]bool)
+			}
+			line := fset.Position(c.Pos()).Line
+			lines[line] = true
+			lines[line+1] = true
+		}
+	}
+	return lines
+}
+
+// sanctioned reports whether pos falls on a hotalloc-sanctioned line of the
+// file currently being summarized.
+func (s *funcSummarizer) sanctioned(pos token.Pos) bool {
+	return s.allowLines[s.fset.Position(pos).Line]
+}
+
+// hasHotpathDoc reports whether a declaration's doc comment carries the
+// `//lint:hotpath` annotation that marks it as a root the hotalloc analyzer
+// must prove transitively allocation-free.
+func hasHotpathDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "lint:hotpath" || strings.HasPrefix(text, "lint:hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *funcSummarizer) addAlloc(facts *FuncFacts, pos token.Pos, what string) {
+	facts.Allocs = append(facts.Allocs, AllocSite{
+		What: what, Pos: pos, Sanctioned: s.sanctioned(pos),
+	})
+}
+
+// allocFacts walks one function body (excluding nested literals, which carry
+// their own facts) recording every operation that may allocate and every
+// static call site. Documented caveats, all on the conservative side for a
+// zero-alloc proof except the last two:
+//   - closures are flagged on capture even though non-escaping ones are
+//     stack-allocated (the analysis has no escape information);
+//   - value composite literals (T{...} not &-taken, no slice/map type) are
+//     treated as stack constructions;
+//   - taking the address of a local (&x) is not flagged — whether it
+//     escapes depends on what the pointer reaches, which the per-line
+//     sanction machinery is too coarse to express usefully.
+func (s *funcSummarizer) allocFacts(body *ast.BlockStmt, facts *FuncFacts) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if free := capturesOuter(s.info, n); free != "" {
+				s.addAlloc(facts, n.Pos(), "function literal captures "+free+" (closure allocates when it escapes; the analysis cannot prove it stays on the stack)")
+			}
+			return false // the literal's own body carries its own facts
+
+		case *ast.GoStmt:
+			s.addAlloc(facts, n.Pos(), "go statement allocates a goroutine")
+			// Argument expressions evaluate on the spawning goroutine; the
+			// spawned body runs off the hot path and is not descended into.
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+
+		case *ast.CallExpr:
+			return s.allocCall(n, facts, walk)
+
+		case *ast.CompositeLit:
+			switch s.typeUnder(n).(type) {
+			case *types.Slice:
+				s.addAlloc(facts, n.Pos(), "slice literal allocates its backing array")
+			case *types.Map:
+				s.addAlloc(facts, n.Pos(), "map literal allocates")
+			}
+			return true
+
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := ast.Unparen(n.X).(*ast.CompositeLit); isLit {
+					s.addAlloc(facts, n.Pos(), "&composite literal allocates")
+				}
+			}
+			return true
+
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(s.info.TypeOf(n.X)) {
+				s.addAlloc(facts, n.Pos(), "string concatenation allocates")
+			}
+			return true
+
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if _, isMap := s.typeUnder(idx.X).(*types.Map); isMap {
+						s.addAlloc(facts, lhs.Pos(), "map write may allocate (bucket growth)")
+					}
+				}
+			}
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(s.info.TypeOf(n.Lhs[0])) {
+				s.addAlloc(facts, n.Pos(), "string concatenation allocates")
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// allocCall classifies one call expression: builtins by name, conversions by
+// shape, dynamic calls as unprovable, and static calls as CallSites for the
+// transitive walk (with boxing checks on interface-typed parameters).
+func (s *funcSummarizer) allocCall(n *ast.CallExpr, facts *FuncFacts, walk func(ast.Node) bool) bool {
+	if tv, ok := s.info.Types[n.Fun]; ok && tv.IsType() {
+		s.allocConversion(n, facts)
+		return true
+	}
+	if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+		if b, ok := s.info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "append":
+				s.addAlloc(facts, n.Pos(), "append may grow its backing array")
+			case "make":
+				s.addAlloc(facts, n.Pos(), "make allocates")
+			case "new":
+				s.addAlloc(facts, n.Pos(), "new allocates")
+				// len/cap/copy/delete/clear/min/max/real/imag/panic/recover
+				// do not allocate (panic fires only on the failure path).
+			}
+			return true
+		}
+	}
+	fn := s.staticCallee(n)
+	if fn == nil {
+		s.addAlloc(facts, n.Pos(), "call through a function value — cannot prove it allocation-free")
+		return true
+	}
+	facts.CallSites = append(facts.CallSites, CallSite{
+		Callee: fn, Pos: n.Pos(), Sanctioned: s.sanctioned(n.Pos()),
+	})
+	s.allocBoxedArgs(n, fn, facts)
+	return true
+}
+
+// allocConversion flags the conversions that allocate: string <-> []byte /
+// []rune, and conversion of a multi-word concrete value to an interface.
+// Numeric and named-type conversions are free.
+func (s *funcSummarizer) allocConversion(n *ast.CallExpr, facts *FuncFacts) {
+	if len(n.Args) != 1 {
+		return
+	}
+	dst := s.info.TypeOf(n)
+	src := s.info.TypeOf(n.Args[0])
+	if dst == nil || src == nil {
+		return
+	}
+	switch {
+	case boxes(src, dst):
+		s.addAlloc(facts, n.Pos(), "interface conversion boxes a "+src.String()+" value")
+	case isString(dst) && isByteOrRuneSlice(src), isByteOrRuneSlice(dst) && isString(src):
+		s.addAlloc(facts, n.Pos(), "string/slice conversion copies and allocates")
+	}
+}
+
+// allocBoxedArgs flags arguments that box into interface-typed parameters of
+// a statically-known callee (the fmt.Sprintf("%d", n) shape). Spread calls
+// (f(xs...)) pass an existing slice and do not box.
+func (s *funcSummarizer) allocBoxedArgs(n *ast.CallExpr, fn *types.Func, facts *FuncFacts) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || n.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range n.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			sl, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				return
+			}
+			pt = sl.Elem()
+		default:
+			return
+		}
+		if at := s.info.TypeOf(arg); at != nil && boxes(at, pt) {
+			s.addAlloc(facts, arg.Pos(), "argument boxes a "+at.String()+" value into an interface parameter")
+		}
+	}
+}
+
+// boxes reports whether assigning a value of type src to dst stores it in an
+// interface and needs a heap allocation: dst is an interface, src is a
+// concrete type that does not fit the interface's data word (pointers,
+// maps, channels, funcs, and unsafe pointers fit; everything else is boxed).
+func boxes(src, dst types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	if src == types.Typ[types.UntypedNil] {
+		return false
+	}
+	switch src.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	}
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UnsafePointer {
+		return false
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// capturesOuter returns the name of a variable the literal references but
+// does not declare (receiver, parameter, or local of an enclosing function),
+// or "" when the literal is capture-free (and compiles to a static func
+// value with no closure allocation).
+func capturesOuter(info *types.Info, lit *ast.FuncLit) string {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level variable, not a capture
+		}
+		// Declared outside the literal's span → captured.
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captured = v.Name()
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// floatAccumFacts records the order-sensitive floating-point reductions in
+// one body: += / -= (and x = x ± y) folds into an accumulator declared
+// outside the loop, where the loop ranges over a map (randomized iteration
+// order) or a channel (goroutine arrival order), plus direct accumulation of
+// channel receives. Nested literals carry their own facts; a literal's body
+// loses the enclosing loop context (documented caveat — the closure-callback
+// iteration idiom over deterministic containers stays clean).
+func (s *funcSummarizer) floatAccumFacts(body *ast.BlockStmt, facts *FuncFacts) {
+	var walk func(n ast.Node, loop *ast.RangeStmt, what string) bool
+	walk = func(n ast.Node, loop *ast.RangeStmt, what string) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+
+		case *ast.RangeStmt:
+			inner, innerWhat := loop, what
+			switch s.typeUnder(n.X).(type) {
+			case *types.Map:
+				inner, innerWhat = n, "map values in iteration order"
+			case *types.Chan:
+				inner, innerWhat = n, "channel-received values in arrival order"
+			}
+			ast.Inspect(n.X, func(m ast.Node) bool { return walk(m, loop, what) })
+			ast.Inspect(n.Body, func(m ast.Node) bool { return walk(m, inner, innerWhat) })
+			return false
+
+		case *ast.AssignStmt:
+			s.floatAccumAssign(n, loop, what, facts)
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, func(n ast.Node) bool { return walk(n, nil, "") })
+}
+
+// floatAccumAssign classifies one assignment as an order-sensitive float
+// fold, reporting it into facts.
+func (s *funcSummarizer) floatAccumAssign(n *ast.AssignStmt, loop *ast.RangeStmt, what string, facts *FuncFacts) {
+	if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return
+	}
+	lhs := ast.Unparen(n.Lhs[0])
+	if !isFloat(s.info.TypeOf(lhs)) {
+		return
+	}
+	fold := false
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		fold = true
+	case token.ASSIGN:
+		// x = x + y / x = x - y with x an identifier.
+		if id, ok := lhs.(*ast.Ident); ok {
+			if bin, ok := ast.Unparen(n.Rhs[0]).(*ast.BinaryExpr); ok &&
+				(bin.Op == token.ADD || bin.Op == token.SUB) {
+				if xid, ok := ast.Unparen(bin.X).(*ast.Ident); ok &&
+					s.info.Uses[xid] != nil && s.info.Uses[xid] == s.info.Uses[id] {
+					fold = true
+				}
+			}
+		}
+	}
+	if !fold {
+		return
+	}
+	// Accumulation of direct channel receives is order-sensitive with or
+	// without an enclosing loop.
+	recv := false
+	ast.Inspect(n.Rhs[0], func(m ast.Node) bool {
+		if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			recv = true
+		}
+		return !recv
+	})
+	if recv {
+		facts.FloatAccums = append(facts.FloatAccums, FloatAccum{
+			What: "channel-received values in arrival order", Pos: n.Pos(),
+		})
+		return
+	}
+	if loop == nil || !s.declaredOutside(lhs, loop) {
+		return
+	}
+	facts.FloatAccums = append(facts.FloatAccums, FloatAccum{What: what, Pos: n.Pos()})
+}
+
+// declaredOutside reports whether the accumulator expression's root variable
+// is declared outside the loop's span — i.e. the fold survives the loop, so
+// term order reaches the result. Fields and index targets count as outside.
+func (s *funcSummarizer) declaredOutside(e ast.Expr, loop *ast.RangeStmt) bool {
+	for {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			return true // field or qualified var: outlives the loop body
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := s.info.Uses[x].(*types.Var)
+			if !ok {
+				return false
+			}
+			return v.Pos() < loop.Pos() || v.Pos() > loop.End()
+		default:
+			return false
+		}
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func (s *funcSummarizer) typeUnder(e ast.Expr) types.Type {
+	t := s.info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

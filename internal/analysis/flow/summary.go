@@ -120,6 +120,21 @@ type FuncFacts struct {
 	// Lits are the facts of nested function literals (other than those
 	// attached to GoSpawns, which appear in both places).
 	Lits []*FuncFacts
+
+	// Hotpath is set when the declaration's doc comment carries
+	// `//lint:hotpath`: the hotalloc analyzer must prove the function
+	// transitively allocation-free.
+	Hotpath bool
+	// Allocs are the potentially heap-allocating operations in this body
+	// (see alloc.go for the operation catalogue and sanction semantics).
+	Allocs []AllocSite
+	// CallSites are the static calls with positions, one entry per call
+	// expression (unlike Calls, not deduplicated), excluding calls inside
+	// nested literals.
+	CallSites []CallSite
+	// FloatAccums are the order-sensitive floating-point reductions in this
+	// body (map-iteration or channel-arrival folds).
+	FloatAccums []FloatAccum
 }
 
 // blockingCalls are functions and methods known to block on I/O or timers.
@@ -152,11 +167,16 @@ type funcSummarizer struct {
 	pkgPath string
 	fset    *token.FileSet
 	info    *types.Info
+	// allowLines is the hotalloc-sanctioned line set of the file currently
+	// being summarized (see hotallocAllowLines); nested literals summarized
+	// during the file's walk share it.
+	allowLines map[int]bool
 }
 
 // summarizeFile returns the facts of every function declaration in f, each
 // with its nested literals attached.
 func (s *funcSummarizer) summarizeFile(f *ast.File) []*FuncFacts {
+	s.allowLines = hotallocAllowLines(s.fset, f)
 	var out []*FuncFacts
 	for _, decl := range f.Decls {
 		fd, ok := decl.(*ast.FuncDecl)
@@ -168,7 +188,9 @@ func (s *funcSummarizer) summarizeFile(f *ast.File) []*FuncFacts {
 		if fn != nil {
 			name = displayName(fn)
 		}
-		out = append(out, s.summarizeBody(fn, name, fd.Pos(), fd.Type, fd.Recv, fd.Body))
+		facts := s.summarizeBody(fn, name, fd.Pos(), fd.Type, fd.Recv, fd.Body)
+		facts.Hotpath = hasHotpathDoc(fd.Doc)
+		out = append(out, facts)
 	}
 	return out
 }
@@ -236,6 +258,12 @@ func (s *funcSummarizer) summarizeBody(fn *types.Func, name string, pos token.Po
 	// Lexical facts that do not need flow: join bits, alias returns, direct
 	// lock set, call set.
 	s.lexicalFacts(body, facts, fnType, recv)
+
+	// Allocation-effect and float-accumulation facts for the hotalloc and
+	// floatorder analyzers (alloc.go); like lexicalFacts these exclude
+	// nested literals, which carry their own facts.
+	s.allocFacts(body, facts)
+	s.floatAccumFacts(body, facts)
 
 	return facts
 }

@@ -36,6 +36,28 @@ type World struct {
 	edges      map[lockEdge]*EdgeWitness
 	cycles     []LockCycle
 	reacquires []Reacquire
+	// mayAllocF / floatAccF are the allocation-effect and float-accumulation
+	// closures, keyed by summary (declared functions and literals alike) so
+	// chains through closures resolve; see Finalize.
+	mayAllocF map[*FuncFacts]bool
+	floatAccF map[*FuncFacts]bool
+	stats     WorldStats
+}
+
+// WorldStats summarizes the finalized call graph — surfaced by
+// cmd/corropt-lint -json so the CI artifact records how much of the module
+// the transitive proofs actually cover.
+type WorldStats struct {
+	// Packages and Functions count the summarized packages and declared
+	// functions; FuncLits counts nested function literals.
+	Packages  int `json:"packages"`
+	Functions int `json:"functions"`
+	FuncLits  int `json:"func_lits"`
+	// CallEdges counts the deduplicated static call edges between summaries.
+	CallEdges int `json:"call_edges"`
+	// HotpathRoots counts the `//lint:hotpath` annotated declarations the
+	// hotalloc analyzer proves allocation-free.
+	HotpathRoots int `json:"hotpath_roots"`
 }
 
 type lockEdge struct {
@@ -245,6 +267,81 @@ func (w *World) Finalize() {
 	sort.Slice(w.reacquires, func(i, j int) bool { return w.reacquires[i].Pos < w.reacquires[j].Pos })
 
 	w.cycles = w.findCycles()
+
+	// Allocation-effect and float-accumulation closures, keyed by summary so
+	// nested literals participate. A summary "may allocate" when its body has
+	// an unsanctioned alloc site, makes an unsanctioned call to a callee
+	// outside the module that is not provably allocation-free, or reaches
+	// either transitively through in-module calls or nested literals. The
+	// hotalloc walk uses the closure to prune allocation-free subtrees;
+	// floatorder's closure mirrors the shape for order-sensitive float folds.
+	// Spawned literals are excluded: their bodies run off the spawner's path
+	// (the go statement itself is already an alloc site).
+	w.mayAllocF = make(map[*FuncFacts]bool, len(funcs))
+	w.floatAccF = make(map[*FuncFacts]bool, len(funcs))
+	for _, fs := range funcs {
+		direct := false
+		for _, a := range fs.Allocs {
+			if !a.Sanctioned {
+				direct = true
+				break
+			}
+		}
+		for _, cs := range fs.CallSites {
+			if direct {
+				break
+			}
+			if cs.Sanctioned {
+				continue
+			}
+			if _, in := w.byFunc[cs.Callee]; !in && !NonAllocCallee(cs.Callee) {
+				direct = true
+			}
+		}
+		w.mayAllocF[fs] = direct
+		w.floatAccF[fs] = len(fs.FloatAccums) > 0
+	}
+	changed = true
+	for changed {
+		changed = false
+		for _, fs := range funcs {
+			may, acc := w.mayAllocF[fs], w.floatAccF[fs]
+			for _, cs := range fs.CallSites {
+				if cs.Sanctioned {
+					continue
+				}
+				if cf, ok := w.byFunc[cs.Callee]; ok {
+					may = may || w.mayAllocF[cf]
+					acc = acc || w.floatAccF[cf]
+				}
+			}
+			for _, lit := range fs.Lits {
+				may = may || w.mayAllocF[lit]
+				acc = acc || w.floatAccF[lit]
+			}
+			if may != w.mayAllocF[fs] {
+				w.mayAllocF[fs] = may
+				changed = true
+			}
+			if acc != w.floatAccF[fs] {
+				w.floatAccF[fs] = acc
+				changed = true
+			}
+		}
+	}
+
+	w.stats.Packages = len(pkgs)
+	for _, fs := range funcs {
+		if fs.Fn != nil {
+			w.stats.Functions++
+		} else {
+			w.stats.FuncLits++
+		}
+		w.stats.CallEdges += len(fs.Calls)
+		if fs.Hotpath && fs.Fn != nil {
+			w.stats.HotpathRoots++
+		}
+	}
 }
 
 func (w *World) transLocksOf(fn *types.Func) []LockKey {
@@ -403,6 +500,37 @@ func (w *World) LitJoinFacts(lit *FuncFacts) JoinBits {
 		bits |= nested.Join
 	}
 	return bits
+}
+
+// MayAlloc reports whether a summary — declared function or literal — may
+// allocate, directly or transitively through unsanctioned in-module calls
+// and nested literals. Computed at Finalize.
+func (w *World) MayAlloc(fs *FuncFacts) bool { return fs != nil && w.mayAllocF[fs] }
+
+// MayFloatAccum reports whether a summary transitively contains an
+// order-sensitive floating-point reduction. Computed at Finalize.
+func (w *World) MayFloatAccum(fs *FuncFacts) bool { return fs != nil && w.floatAccF[fs] }
+
+// Stats returns the finalized call-graph statistics.
+func (w *World) Stats() WorldStats { return w.stats }
+
+// HotpathRoots returns every `//lint:hotpath` annotated declaration across
+// the world, sorted by package then position.
+func (w *World) HotpathRoots() []*FuncFacts {
+	var pkgs []string
+	for p := range w.byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	var roots []*FuncFacts
+	for _, p := range pkgs {
+		for _, fs := range w.byPkg[p] {
+			if fs.Hotpath && fs.Fn != nil {
+				roots = append(roots, fs)
+			}
+		}
+	}
+	return roots
 }
 
 // ReturnsAlias reports whether fn returns a pointer, slice, or map rooted in

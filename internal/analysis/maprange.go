@@ -166,10 +166,10 @@ func assignIsCollectOrReduce(pass *Pass, s *ast.AssignStmt, collectors map[types
 	// x += e / x -= e / x |= e / x &= e on numeric operands: commutative
 	// accumulations. String += is explicitly NOT exempt — concatenation in
 	// map order is exactly the bug this analyzer exists to catch. (Float +=
-	// is order-sensitive in the last bits; such sums feed output through
-	// fixed-precision verbs and the exact summation order of report-critical
-	// sums is pinned separately — DESIGN.md §7.1 — so numeric += is
-	// accepted.)
+	// is order-sensitive in the last bits; this analyzer accepts numeric +=
+	// wholesale and the floatorder analyzer owns the float gap: it flags
+	// exactly the surviving-accumulator float folds over map iteration that
+	// this acceptance would otherwise let through — DESIGN.md §7.5, §8.)
 	switch s.Tok.String() {
 	case "+=", "-=", "|=", "&=", "^=":
 		if len(s.Lhs) != 1 {

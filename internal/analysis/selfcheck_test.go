@@ -307,6 +307,143 @@ func Mutate(o *Owner) {
 	check("aliasescape", "aliases internal state returned by Owner.View")
 }
 
+// TestHotpathFloorsCoverRoots pins the static proof to the measured ratchet:
+// every //lint:hotpath annotated declaration in the module must have exactly
+// one `hotpath <root> <benchmark>` 0-allocs/op floor (or one explicit
+// `hotpath_exempt <root> <reason>`) in scripts/bench_floors.txt, and every
+// floor entry must name a root that still exists. Either direction drifting
+// means the hotalloc proof and the benchmark evidence no longer cover the
+// same set of functions.
+func TestHotpathFloorsCoverRoots(t *testing.T) {
+	pkgs := loadRepo(t, "./...")
+	world := BuildWorld(pkgs)
+	roots := make(map[string]bool)
+	for _, fs := range world.HotpathRoots() {
+		roots[fs.Pkg+"."+fs.Name] = true
+	}
+	if len(roots) == 0 {
+		t.Fatal("no //lint:hotpath roots found in the module; the annotations or the flow summary went missing")
+	}
+
+	data, err := os.ReadFile("../../scripts/bench_floors.txt")
+	if err != nil {
+		t.Fatalf("read bench_floors.txt: %v", err)
+	}
+	floors := make(map[string]string) // root -> "hotpath" | "hotpath_exempt"
+	for i, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "hotpath":
+			if len(fields) != 3 {
+				t.Errorf("bench_floors.txt:%d: hotpath wants exactly <root> <benchmark>: %q", i+1, line)
+				continue
+			}
+		case "hotpath_exempt":
+			if len(fields) < 3 {
+				t.Errorf("bench_floors.txt:%d: hotpath_exempt wants <root> <reason...>: %q", i+1, line)
+				continue
+			}
+		default:
+			continue
+		}
+		root := fields[1]
+		if prev, dup := floors[root]; dup {
+			t.Errorf("bench_floors.txt:%d: %s already has a %s entry", i+1, root, prev)
+			continue
+		}
+		floors[root] = fields[0]
+	}
+
+	for root := range roots {
+		if _, ok := floors[root]; !ok {
+			t.Errorf("//lint:hotpath root %s has no hotpath (or hotpath_exempt) entry in scripts/bench_floors.txt", root)
+		}
+	}
+	for root, kind := range floors {
+		if !roots[root] {
+			t.Errorf("bench_floors.txt %s entry names %s, which is not a //lint:hotpath root in the module", kind, root)
+		}
+	}
+}
+
+// TestSeededHotpathViolationsAreCaught is the call-graph-suite negative
+// control: a deliberate allocation on a //lint:hotpath path in a sim-shaped
+// package (two hops down, so the chain machinery is exercised) and a
+// deliberate map-ordered float sum in a fleet-shaped package are planted in
+// a throwaway module and must each fail the gate through the exact
+// Load + BuildWorld + RunW pipeline the lint driver uses.
+func TestSeededHotpathViolationsAreCaught(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module demo\n\ngo 1.22\n")
+	write("sim/sim.go", `package sim
+
+type Sim struct{ samples []float64 }
+
+// Settle deliberately allocates two hops down a hot path.
+//
+//lint:hotpath per-event settle
+func (s *Sim) Settle(p float64) {
+	s.record(p)
+}
+
+func (s *Sim) record(p float64) {
+	s.samples = append(s.samples, p)
+}
+`)
+	write("fleet/fleet.go", `package fleet
+
+// Sum deliberately folds float shard penalties in map iteration order.
+func Sum(shards map[int]float64) float64 {
+	total := 0.0
+	for _, p := range shards {
+		total += p
+	}
+	return total
+}
+`)
+
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load(demo): %v", err)
+	}
+	world := BuildWorld(pkgs)
+	byAnalyzer := make(map[string][]string)
+	for _, pkg := range pkgs {
+		diags, err := RunW(pkg, All(), world)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], pkg.Path+": "+d.Message)
+		}
+	}
+	check := func(analyzer, substr string) {
+		t.Helper()
+		for _, msg := range byAnalyzer[analyzer] {
+			if strings.Contains(msg, substr) {
+				return
+			}
+		}
+		t.Errorf("seeded %s violation not caught: no finding containing %q in %v", analyzer, substr, byAnalyzer[analyzer])
+	}
+	check("hotalloc", "hot path (*Sim).Settle is not allocation-free: append may grow its backing array")
+	check("hotalloc", "(chain: (*Sim).Settle -> (*Sim).record)")
+	check("floatorder", "folds map values in iteration order")
+}
+
 // TestLintParallelMatchesSerial pins the driver's determinism contract: the
 // merged findings (including suppressed ones) produced by the runner.Map
 // fan-out that cmd/corropt-lint uses are byte-identical for 1 worker and 8.

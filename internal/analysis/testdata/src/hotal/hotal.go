@@ -1,0 +1,113 @@
+// Package hotal is the hotalloc golden package: functions whose doc comment
+// carries //lint:hotpath must be transitively allocation-free. Findings are
+// reported at the root's declaration line with the shortest root→site call
+// chain, so every `want` here sits on a `func` line; sanctioned escapes use
+// `//lint:allow hotalloc <reason>` at the allocation site (pre-sanctions the
+// site for every root) or at the root declaration (accepts the remaining
+// debt for that root).
+package hotal
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+var counter atomic.Int64
+
+var buf []int
+
+// directMake allocates right in the root body.
+//
+//lint:hotpath
+func directMake(n int) []int { // want `hot path directMake is not allocation-free: make allocates at hotal\.go:\d+$`
+	return make([]int, n)
+}
+
+// rootChain reaches the allocation two hops down; the finding carries the
+// full chain.
+//
+//lint:hotpath
+func rootChain() { // want `hot path rootChain is not allocation-free: make allocates at hotal\.go:\d+ \(chain: rootChain -> mid -> leaf\)`
+	mid()
+}
+
+func mid() { leaf() }
+
+func leaf() { _ = make([]int, 8) }
+
+// rootDiamond reaches leaf both directly and through mid; BFS reports the
+// shortest chain only.
+//
+//lint:hotpath
+func rootDiamond() { // want `make allocates at hotal\.go:\d+ \(chain: rootDiamond -> leaf\)`
+	mid()
+	leaf()
+}
+
+// rootClosure passes an allocating literal to a callback iterator: the
+// literal's body is walked as an inline hop, and the dynamic fn(x) call
+// inside each is flagged as unprovable.
+//
+//lint:hotpath
+func rootClosure(xs []int) { // want `make allocates at hotal\.go:\d+ \(chain: rootClosure -> func literal\)` `call through a function value — cannot prove it allocation-free at hotal\.go:\d+ \(chain: rootClosure -> each\)`
+	each(xs, func(x int) {
+		_ = make([]int, x)
+	})
+}
+
+func each(xs []int, fn func(int)) {
+	for _, x := range xs {
+		fn(x)
+	}
+}
+
+// rootMapWrite writes through a map, which may grow a bucket.
+//
+//lint:hotpath
+func rootMapWrite(m map[int]int, k int) { // want `map write may allocate \(bucket growth\)`
+	m[k] = 1
+}
+
+// rootGo spawns a goroutine; the go statement itself is the allocation (the
+// spawned body runs off the hot path and is not descended into).
+//
+//lint:hotpath
+func rootGo() { // want `go statement allocates a goroutine`
+	go leaf()
+}
+
+// rootSanctionedSite calls a helper whose amortized append carries a
+// site-level allow: the site is pre-sanctioned for every root, so nothing
+// is reported here.
+//
+//lint:hotpath
+func rootSanctionedSite(x int) {
+	reserve(x)
+}
+
+func reserve(x int) {
+	//lint:allow hotalloc amortized growth into a reused buffer
+	buf = append(buf, x)
+}
+
+// rootAccepted carries a root-level allow: every finding for this root lands
+// on the declaration line below, so one annotation accepts the whole debt.
+//
+//lint:hotpath
+//lint:allow hotalloc accepted startup-path debt
+func rootAccepted(n int) []int {
+	return make([]int, n)
+}
+
+// rootClean exercises the allowlist: math and sync/atomic calls are known
+// allocation-free, so a clean root produces nothing.
+//
+//lint:hotpath
+func rootClean(x float64) float64 {
+	return math.Sqrt(x) + float64(counter.Load())
+}
+
+// notARoot allocates freely: only //lint:hotpath functions are walked.
+func notARoot() []int {
+	return append(make([]int, 0, 4), 1, 2, 3)
+}

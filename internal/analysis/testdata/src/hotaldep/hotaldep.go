@@ -1,0 +1,21 @@
+// Package hotaldep is the dependency half of the cross-package hotalloc
+// golden: roots in hotalroot call into it, and findings surface at the
+// root's declaration in the calling package. Reserve shows the site-level
+// sanction working across packages — sites are marked sanctioned when this
+// package is summarized, so a root in another package calling it stays
+// clean.
+package hotaldep
+
+var buf []int
+
+// Grow allocates; rootCross in hotalroot reports it with a cross-package
+// chain.
+func Grow(n int) []int {
+	return make([]int, n)
+}
+
+// Reserve appends under a site-level sanction.
+func Reserve(x int) {
+	//lint:allow hotalloc amortized append growth, steady capacity after warmup
+	buf = append(buf, x)
+}

@@ -1,0 +1,21 @@
+// Package hotalroot is the root half of the cross-package hotalloc golden:
+// its //lint:hotpath roots call into hotaldep, and every finding is
+// reported here, at the root's declaration, with the cross-package chain.
+package hotalroot
+
+import "hotaldep"
+
+// rootCross reaches an allocation in the dependency package.
+//
+//lint:hotpath
+func rootCross(n int) []int { // want `hot path rootCross is not allocation-free: make allocates at hotaldep\.go:\d+ \(chain: rootCross -> Grow\)`
+	return hotaldep.Grow(n)
+}
+
+// rootCrossSanctioned calls the dependency's sanctioned append: the site was
+// marked allowed when hotaldep was summarized, so the chain ends clean.
+//
+//lint:hotpath
+func rootCrossSanctioned(x int) {
+	hotaldep.Reserve(x)
+}

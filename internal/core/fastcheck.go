@@ -27,6 +27,8 @@ func NewFastChecker(net *Network) *FastChecker { return &FastChecker{net: net} }
 // CanDisable reports whether link l can be disabled right now without
 // violating any ToR capacity constraint. Already-disabled links are
 // trivially "disableable" (no state change).
+//
+//lint:hotpath the per-corruption-event decision the paper budgets in §5.1
 func (fc *FastChecker) CanDisable(l topology.LinkID) bool {
 	n := fc.net
 	if n.Disabled(l) {
@@ -54,6 +56,7 @@ func (fc *FastChecker) CanDisable(l topology.LinkID) bool {
 		// down or constraints tightened). Match the full-check semantics,
 		// which refuses when any downstream ToR of l is infeasible even if
 		// l does not change its count.
+		//lint:allow hotalloc DownstreamToRs allocates on the rare already-violated path only
 		for _, tor := range n.topo.DownstreamToRs(l) {
 			if !n.meets(tor, counts, total) {
 				ok = false

@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"corropt/internal/topology"
 )
@@ -262,6 +263,8 @@ func (n *Network) PenaltyRegistered() bool { return n.penalty != nil }
 // O(#corrupting) cached contributions, in the same link order as a fresh
 // TotalPenalty scan, so incremental drift never outlives one epoch). It
 // panics if no penalty function was registered.
+//
+//lint:hotpath every Sim.settle and control-plane status read lands here
 func (n *Network) PenaltySum() float64 {
 	if n.penalty == nil {
 		panic("core: PenaltySum called without RegisterPenalty")
@@ -274,6 +277,8 @@ func (n *Network) PenaltySum() float64 {
 
 // setContrib points link l's cached penalty contribution at c, folding the
 // delta into the running sum.
+//
+//lint:hotpath O(1) fold on every SetCorruption / toggle event
 func (n *Network) setContrib(l topology.LinkID, c float64) {
 	if old := n.contrib[l]; old != c {
 		n.penaltySum += c - old
@@ -285,12 +290,15 @@ func (n *Network) setContrib(l topology.LinkID, c float64) {
 // penaltyOnToggle updates the penalty state for link l transitioning to
 // disabled (true) or enabled (false). Callers invoke it before the path
 // counter's disabled set flips, so the new state is passed explicitly.
+//
+//lint:hotpath runs on every Disable/Enable event
 func (n *Network) penaltyOnToggle(l topology.LinkID, nowDisabled bool) {
 	if n.penalty == nil {
 		return
 	}
 	var c float64
 	if r := n.rate[l]; r > 0 && !nowDisabled {
+		//lint:allow hotalloc registered PenaltyFunc values are pure arithmetic; a dynamic call is unprovable statically
 		c = n.penalty(r)
 	}
 	n.setContrib(l, c)
@@ -298,10 +306,18 @@ func (n *Network) penaltyOnToggle(l topology.LinkID, nowDisabled bool) {
 
 // rebuildPenaltySum re-sums the cached contributions exactly, iterating the
 // corrupting set in ascending link order — term-for-term the same additions
-// as TotalPenalty's fresh scan, so the result is bit-identical to it.
+// as TotalPenalty's fresh scan, so the result is bit-identical to it. The
+// bitset is walked word-by-word rather than through Each so the amortized
+// rebuild inside PenaltySum stays closure-free (hotalloc's proof obligation).
 func (n *Network) rebuildPenaltySum() {
 	sum := 0.0
-	n.corrupting.Each(func(l topology.LinkID) { sum += n.contrib[l] })
+	for wi, w := range n.corrupting.Words() {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			sum += n.contrib[wi*64+b]
+			w &= w - 1
+		}
+	}
 	n.penaltySum = sum
 	n.penaltyOps = 0
 }

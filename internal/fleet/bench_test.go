@@ -35,6 +35,48 @@ var benchFleetOnce = sync.OnceValues(func() ([]DCN, []Event) {
 	return dcns, synthesizeEvents(dcns, 99, 200_000)
 })
 
+// BenchmarkFleetRoute isolates per-event ingress: validation, shard lookup,
+// and the pending-queue append. After one warmup pass has grown every
+// shard's pending buffer to the capacity this exact event sequence needs,
+// Route must not allocate — the 0 allocs/op hotpath floor in
+// scripts/bench_floors.txt holds hotalloc's static proof of
+// (*Supervisor).Route to the measurement.
+func BenchmarkFleetRoute(b *testing.B) {
+	dcns, evs := benchFleetOnce()
+	sup, err := New(dcns, Config{Workers: 1})
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	if err := sup.Ingest(evs); err != nil {
+		b.Fatalf("warmup Ingest: %v", err)
+	}
+	if err := sup.Flush(); err != nil {
+		b.Fatalf("warmup Flush: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	j := 0
+	for i := 0; i < b.N; i++ {
+		if err := sup.Route(evs[j]); err != nil {
+			b.Fatalf("Route: %v", err)
+		}
+		if j++; j == len(evs) {
+			// Drain outside the timer: Flush is the shard/merge half of the
+			// pipeline, measured by BenchmarkFleetThroughput.
+			b.StopTimer()
+			if err := sup.Flush(); err != nil {
+				b.Fatalf("Flush: %v", err)
+			}
+			b.StartTimer()
+			j = 0
+		}
+	}
+	b.StopTimer()
+	if err := sup.Flush(); err != nil {
+		b.Fatalf("Flush: %v", err)
+	}
+}
+
 // BenchmarkFleetThroughput measures sustained corruption-event throughput
 // over the 1M-link fleet, serial (Workers=1) vs parallel (Workers=NumCPU),
 // both at the default one-shard-per-segment packing. The events/sec metric

@@ -250,20 +250,27 @@ func dcnShardTarget(budget, units, totalUnits int) int {
 // Route validates ev and queues it on the owning shard. Events must arrive
 // in nondecreasing At order; the assigned sequence number is what keeps
 // decision merging byte-identical across shard and worker counts.
+//
+//lint:hotpath per-event fleet ingress (BenchmarkFleetRoute floor)
 func (s *Supervisor) Route(ev Event) error {
 	if ev.DCN < 0 || ev.DCN >= len(s.dcns) {
+		//lint:allow hotalloc error construction on the reject path only
 		return fmt.Errorf("fleet: event for unknown DCN %d", ev.DCN)
 	}
 	if ev.Link < 0 || int(ev.Link) >= s.dcns[ev.DCN].Topo.NumLinks() {
+		//lint:allow hotalloc error construction on the reject path only
 		return fmt.Errorf("fleet: event for unknown link %d in DCN %s", ev.Link, s.dcns[ev.DCN].Name)
 	}
 	if ev.Kind != Corruption && ev.Kind != Repair {
+		//lint:allow hotalloc error construction on the reject path only
 		return fmt.Errorf("fleet: unknown event kind %d", ev.Kind)
 	}
 	if ev.Rate < 0 {
+		//lint:allow hotalloc error construction on the reject path only
 		return fmt.Errorf("fleet: negative corruption rate %g", ev.Rate)
 	}
 	sh := s.shards[s.shardOf[ev.DCN][ev.Link]]
+	//lint:allow hotalloc append into per-shard pending buffer, steady capacity after warmup
 	sh.pending = append(sh.pending, shardEvent{
 		seq:  s.nextSeq,
 		at:   ev.At,

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math/bits"
 	"slices"
 	"time"
 
@@ -39,8 +40,8 @@ type shard struct {
 
 // segState is the controller state of one atomic segment within a shard.
 type segState struct {
-	global  int                // fleet-wide segment index
-	links   *topology.LinkSet  // local link ids
+	global  int                 // fleet-wide segment index
+	links   *topology.LinkSet   // local link ids
 	tors    []topology.SwitchID // local ToR ids, ascending
 	penalty float64
 	ops     int // float ops since the last exact rebuild
@@ -220,8 +221,17 @@ func (sh *shard) bump(seg *segState, old, new float64) {
 	seg.penalty += new - old
 	seg.ops++
 	if seg.ops >= segRebuildEvery {
+		// Walk the bitset word-by-word (ascending link order, same terms as
+		// Each) so the amortized exact re-sum stays closure-free on the
+		// per-event path.
 		sum := 0.0
-		seg.links.Each(func(l topology.LinkID) { sum += sh.contrib(l) })
+		for wi, w := range seg.links.Words() {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				sum += sh.contrib(topology.LinkID(wi*64 + b))
+				w &= w - 1
+			}
+		}
 		seg.penalty, seg.ops = sum, 0
 	}
 }

@@ -15,6 +15,7 @@ package routing
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"corropt/internal/topology"
 )
@@ -207,7 +208,19 @@ func (r *Router) Route(demands []Demand, disabled topology.DisabledFunc) (*Loads
 	}
 	active := func(l topology.LinkID) bool { return disabled == nil || !disabled(l) }
 
-	for dst, dms := range byDst {
+	// Sweep destinations in ascending id order, not map order: Routed,
+	// Unroutable, and PerLink accumulate across destinations, and float
+	// addition is not associative — a map-order sweep would leave
+	// run-dependent last bits in the loads (the floatorder analyzer's
+	// contract, DESIGN.md §7.5).
+	dsts := make([]topology.SwitchID, 0, len(byDst))
+	for dst := range byDst {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+
+	for _, dst := range dsts {
+		dms := byDst[dst]
 		r.bfs(dst, disabled)
 		for p := phase(0); p < numPhases; p++ {
 			for i := range r.mass[p] {

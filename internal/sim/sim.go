@@ -411,6 +411,8 @@ func (s *Sim) syncRate(l topology.LinkID) {
 }
 
 // accrue advances the penalty integral to now; callers mutate state after.
+//
+//lint:hotpath runs before every event mutation and every sample
 func (s *Sim) accrue(now time.Duration) {
 	s.result.IntegratedPenalty += s.lastPenalty * (now - s.lastAccrueAt).Seconds()
 	// Bucket by day, splitting intervals across midnight boundaries.
@@ -422,6 +424,7 @@ func (s *Sim) accrue(now time.Duration) {
 		}
 		d := int(at / day)
 		for len(s.result.PenaltyPerDay) <= d {
+			//lint:allow hotalloc grows once per simulated day, not per event
 			s.result.PenaltyPerDay = append(s.result.PenaltyPerDay, 0)
 		}
 		s.result.PenaltyPerDay[d] += s.lastPenalty * (end - at).Seconds()
@@ -433,6 +436,8 @@ func (s *Sim) accrue(now time.Duration) {
 // settle records the post-mutation penalty level. O(1): the network
 // maintains the penalty sum incrementally (no per-event rescan of the
 // corrupting-link set).
+//
+//lint:hotpath runs after every event mutation (BenchmarkSimSettle floor)
 func (s *Sim) settle() {
 	s.lastPenalty = s.net.PenaltySum()
 }
@@ -640,10 +645,13 @@ func (s *Sim) applyAction(l topology.LinkID, action faults.RepairAction) {
 }
 
 // sample records one output point.
+//
+//lint:hotpath runs once per sampling interval over the whole trace
 func (s *Sim) sample(now time.Duration) {
 	s.accrue(now)
 	p := s.net.PenaltySum()
 	s.lastPenalty = p
+	//lint:allow hotalloc Samples is the output series; one append per sample interval
 	s.result.Samples = append(s.result.Samples, Sample{
 		At:               now,
 		Penalty:          p,

@@ -95,6 +95,8 @@ func (pc *PathCounter) ChangedToRs() []SwitchID { return pc.changedToRs }
 // count delta through l's downstream cone. It returns the ToRs whose counts
 // changed (the same slice ChangedToRs reports). Applying an
 // already-disabled link is a no-op returning nil.
+//
+//lint:hotpath the optimizer probes Apply/Revert per candidate link
 func (pc *PathCounter) Apply(l LinkID) []SwitchID {
 	if pc.incDisabled.Has(l) {
 		return nil
@@ -109,6 +111,8 @@ func (pc *PathCounter) Apply(l LinkID) []SwitchID {
 // ToRs. Reverting an enabled link is a no-op returning nil. Apply followed
 // by Revert restores counts bit-exactly, and Apply/Revert sequences compose
 // in any order.
+//
+//lint:hotpath paired with Apply on every feasibility probe
 func (pc *PathCounter) Revert(l LinkID) []SwitchID {
 	if !pc.incDisabled.Has(l) {
 		return nil
@@ -142,6 +146,7 @@ func (pc *PathCounter) propagate(start SwitchID, d0 int64) []SwitchID {
 	}
 	pc.dirty[start] = e
 	pc.delta[start] = d0
+	//lint:allow hotalloc appends into per-stage scratch buffers that reach steady capacity after warmup
 	pc.dirtyStage[startStage] = append(pc.dirtyStage[startStage][:0], start)
 	for st := startStage; st >= 0; st-- {
 		bucket := pc.dirtyStage[st]
@@ -153,6 +158,7 @@ func (pc *PathCounter) propagate(start SwitchID, d0 int64) []SwitchID {
 			}
 			pc.inc[u] += d
 			if st == 0 {
+				//lint:allow hotalloc append into reused changedToRs scratch, steady capacity after warmup
 				pc.changedToRs = append(pc.changedToRs, u)
 				continue
 			}
@@ -164,6 +170,7 @@ func (pc *PathCounter) propagate(start SwitchID, d0 int64) []SwitchID {
 				if pc.dirty[v] != e {
 					pc.dirty[v] = e
 					pc.delta[v] = 0
+					//lint:allow hotalloc append into reused per-stage scratch, steady capacity after warmup
 					pc.dirtyStage[st-1] = append(pc.dirtyStage[st-1], v)
 				}
 				pc.delta[v] += d

@@ -47,10 +47,14 @@ func (s *LinkSet) Has(l LinkID) bool {
 	return s.words[w]>>(uint(l)&63)&1 != 0
 }
 
-// Add inserts l. Adding beyond the constructed capacity grows the set.
+// Add inserts l. Adding beyond the constructed capacity grows the set; hot
+// paths (PathCounter.Apply on the incremental disabled set) always add
+// within the capacity NewLinkSet sized for the topology, so the growth loop
+// body never runs there.
 func (s *LinkSet) Add(l LinkID) {
 	w := int(uint(l) >> 6)
 	for w >= len(s.words) {
+		//lint:allow hotalloc growth only when adding past constructed capacity; hot paths stay within it
 		s.words = append(s.words, 0)
 	}
 	s.words[w] |= 1 << (uint(l) & 63)
@@ -128,6 +132,18 @@ func (s *LinkSet) Each(fn func(LinkID)) {
 			w &= w - 1
 		}
 	}
+}
+
+// Words exposes the underlying bit words (word i covers links
+// i*64..i*64+63, LSB first) so hot paths can iterate the set without the
+// Each closure: a `for` over Words with bits.TrailingZeros64 compiles to
+// the same loop with zero captures. The slice is the live storage — callers
+// must not mutate it.
+func (s *LinkSet) Words() []uint64 {
+	if s == nil {
+		return nil
+	}
+	return s.words
 }
 
 // Func adapts the set to the DisabledFunc interface for callers that still

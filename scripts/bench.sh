@@ -74,6 +74,13 @@ fleet)
 	COUNT=1
 	PKG=./internal/fleet
 	;;
+hotpath)
+	TXT=BENCH_hotpath.txt
+	JSON=BENCH_hotpath.json
+	PATTERN='FastChecker$|PathCountingIncremental$|PenaltySum$|SimSettle$|FleetRoute$'
+	COUNT=1
+	PKG=". ./internal/core ./internal/sim ./internal/fleet"
+	;;
 lint)
 	TXT=BENCH_lint.txt
 	JSON=BENCH_lint.json
@@ -82,7 +89,7 @@ lint)
 	PKG=./internal/analysis
 	;;
 *)
-	echo "bench.sh: unknown suite '$SUITE' (want core, experiments, fleet, or lint)" >&2
+	echo "bench.sh: unknown suite '$SUITE' (want core, experiments, fleet, hotpath, or lint)" >&2
 	exit 2
 	;;
 esac
@@ -96,7 +103,9 @@ if [ "$FORCE" != 1 ]; then
 	fi
 fi
 
-go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" "$PKG" | tee "$TXT"
+# PKG is intentionally unquoted: the hotpath suite spans several packages.
+# shellcheck disable=SC2086
+go test -run '^$' -bench "$PATTERN" -benchmem -count="$COUNT" $PKG | tee "$TXT"
 
 # Machine metadata: GOMAXPROCS (the effective worker count of the parallel
 # sub-benchmarks), the CPU model from go test's own `cpu:` line, and the

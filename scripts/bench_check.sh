@@ -25,6 +25,12 @@
 #     parallel wall-clock and only hold with enough cores: they are enforced
 #     — CI FAILS, not informs — when GOMAXPROCS >= ref_gomaxprocs, and
 #     reported as information below that.
+#   - Hot-path zero-allocation floors (hotpath <root> <benchmark>) tie the
+#     hotalloc analyzer's static allocation-freedom proof to measurement:
+#     whenever the named benchmark appears in a checked transcript, its
+#     allocs/op must be exactly 0 (machine-independent, so always enforced
+#     when present). hotpath_exempt entries are bookkeeping for
+#     TestHotpathFloorsCoverRoots and are ignored here.
 #   - Fleet floors: fleet_events_sec is a throughput floor on the fleet
 #     supervisor's serial events/sec metric, enforced whenever a
 #     BenchmarkFleetThroughput transcript is given (the committed floor
@@ -69,7 +75,20 @@ FNR == NR && FILENAME == ARGV[1] {
 	else if ($1 == "fleet_ref_gomaxprocs") fref = $2
 	else if ($1 == "fleet_events_sec") fevmin = $2
 	else if ($1 == "fleet_speedup") fsmin = $2
+	else if ($1 == "hotpath") {
+		if ($3 in hproots) hproots[$3] = hproots[$3] ", " $2
+		else hproots[$3] = $2
+	}
+	else if ($1 == "hotpath_exempt") { } # bookkeeping for the selfcheck test
 	next
+}
+# Any benchmark line: collect allocs/op per name for the hotpath floors.
+/^Benchmark/ {
+	bname = $1
+	sub(/-[0-9]+$/, "", bname)
+	bseen[bname] = 1
+	for (i = 3; i + 1 <= NF; i += 2)
+		if ($(i + 1) == "allocs/op") ballocs[bname] = $i
 }
 # Pass 2+: the bench transcripts. Experiment lines look like
 #   BenchmarkExperimentsSuite/ticketq/serial  1  20089337 ns/op  ... 23404 allocs/op
@@ -98,7 +117,9 @@ FNR == NR && FILENAME == ARGV[1] {
 END {
 	fail = 0
 
-	if (!expseen && !fleetseen) {
+	hpseen = 0
+	for (bn in hproots) if (bn in bseen) hpseen = 1
+	if (!expseen && !fleetseen && !hpseen) {
 		printf("bench_check: FAIL: no recognized benchmark lines in the given transcripts\n")
 		exit 1
 	}
@@ -117,6 +138,26 @@ END {
 			fail = 1
 		} else {
 			printf("bench_check: ok   %s: %d allocs/op (floor %d)\n", d, a, amax[d])
+		}
+	}
+
+	# Hot-path zero-allocation floors: enforced whenever the named
+	# benchmark ran in a checked transcript. The measured benches all call
+	# b.ReportAllocs(), so a present line without allocs/op means the
+	# harness regressed — fail rather than skip.
+	for (bn in hproots) {
+		if (!(bn in bseen)) continue
+		if (!(bn in ballocs)) {
+			printf("bench_check: FAIL hotpath %s: %s ran but reported no allocs/op\n", hproots[bn], bn)
+			fail = 1
+			continue
+		}
+		a = ballocs[bn] + 0
+		if (a > 0) {
+			printf("bench_check: FAIL hotpath %s: %s reports %d allocs/op, want 0\n", hproots[bn], bn, a)
+			fail = 1
+		} else {
+			printf("bench_check: ok   hotpath %s: %s at 0 allocs/op\n", hproots[bn], bn)
 		}
 	}
 
