@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint vet ci race test-race test-chaos cover fuzz bench bench-experiments bench-fleet bench-hotpath bench-lint bench-check bench-profile clean
+.PHONY: all build test lint lint-fast vet ci race test-race test-chaos cover fuzz bench bench-experiments bench-fleet bench-hotpath bench-lint bench-check bench-profile clean
 
 all: build test
 
@@ -16,12 +16,23 @@ vet:
 
 ## lint: the full static-analysis gate — go vet, the repository's own
 ## corropt-lint analyzer suite (nodeterminism, maprange, errwrap, mutexheld,
-## lockorder, gorolife, aliasescape, stalecache, hotalloc, floatorder; see
-## DESIGN.md §8), and staticcheck when the binary is installed. Exits
-## non-zero on any finding; `//lint:allow <analyzer> <reason>` suppresses a
-## finding on its own or the following line and the reason is mandatory.
+## lockorder, gorolife, aliasescape, stalecache, hotalloc, floatorder,
+## ctxdeadline, reslife, escapes; see DESIGN.md §8), and staticcheck when
+## the binary is installed. Exits non-zero on any finding;
+## `//lint:allow <analyzer> <reason>` suppresses a finding on its own or
+## the following line and the reason is mandatory.
 lint:
 	./scripts/lint.sh
+
+## lint-fast: the 13-analyzer suite restricted to packages transitively
+## affected by the git diff against LINT_DIFF_REF (default HEAD) — the
+## whole module is still loaded and flow-summarized, but analyzer passes
+## (including the escapes analyzer's compiler run) only cover the affected
+## closure. The edit-loop companion to the full `make lint` gate; the
+## pre-commit hook in scripts/pre-commit runs the same check.
+LINT_DIFF_REF ?= HEAD
+lint-fast:
+	$(GO) run ./cmd/corropt-lint -diff $(LINT_DIFF_REF) ./...
 
 ## ci: everything the CI workflow runs, in the same order.
 ci: build test lint race test-race test-chaos cover

@@ -52,6 +52,9 @@ type Pass struct {
 	TypesInfo *types.Info
 	// Path is the package's import path (e.g. "corropt/internal/sim").
 	Path string
+	// Dir is the package's source directory; the escapes analyzer walks up
+	// from it to the module root before invoking the compiler harness.
+	Dir string
 	// World holds the module-wide flow summaries (lock graph, goroutine
 	// join facts, alias-returning functions) shared by every package's
 	// passes. It may be nil for single-package runs; analyzers that need it
@@ -106,7 +109,8 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		NoDeterminism, MapRange, ErrWrap, MutexHeld,
 		LockOrder, GoroLife, AliasEscape, StaleCache,
-		HotAlloc, FloatOrder,
+		HotAlloc, FloatOrder, CtxDeadline, ResLife,
+		Escapes,
 	}
 }
 
@@ -170,6 +174,7 @@ func RunDetailed(pkg *Package, analyzers []*Analyzer, world *flow.World) ([]Find
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
 			Path:      pkg.Path,
+			Dir:       pkg.Dir,
 			World:     world,
 			diags:     &diags,
 		}

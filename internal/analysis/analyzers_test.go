@@ -1,10 +1,14 @@
 package analysis_test
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"corropt/internal/analysis"
 	"corropt/internal/analysis/analysistest"
+	"corropt/internal/analysis/gcdiag"
 )
 
 // TestNoDeterminism pins the nodeterminism analyzer against golden packages:
@@ -115,4 +119,77 @@ func TestHotAlloc(t *testing.T) {
 // folds stay silent.
 func TestFloatOrder(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.FloatOrder, "floatord")
+}
+
+// TestCtxDeadline pins the ctxdeadline analyzer over a golden deployment
+// package: op-owner reporting at unguarded blocking ops (including the
+// one-branch-only and deferred-setter must-analysis cases), caller-guards
+// contract inference (exchange arms pump's read, so only the unguarded call
+// sites are findings, with one- and two-hop chains), stop-channel and
+// ctx.Done exemptions, goroutine handoff, and lint:allow suppression.
+func TestCtxDeadline(t *testing.T) {
+	a := analysis.NewCtxDeadline(map[string]bool{"ctxdl": true})
+	analysistest.Run(t, "testdata", a, "ctxdl")
+}
+
+// TestResLife pins the reslife analyzer: leaks on early returns, unstopped
+// tickers, err-variable reuse across acquisitions, and literal bodies are
+// flagged at the acquisition; error-guard edges, deferred Close, returns,
+// struct-field adoption, map registration, goroutine/channel/closure
+// handoff, nil-guards, and lint:allow stay silent.
+func TestResLife(t *testing.T) {
+	a := analysis.NewResLife(map[string]bool{"reslf": true})
+	analysistest.Run(t, "testdata", a, "reslf")
+}
+
+// TestEscapes pins the escapes analyzer's attribution logic against a fake
+// compiler collector that synthesizes diagnostics from gc:escapes /
+// gc:bounds markers in the golden sources: escapes anywhere in the root's
+// transitive chain (with the chain in the message), bounds checks only in
+// the root's own loops, hotalloc-sanctioned lines skipped, non-hotpath
+// functions ignored.
+func TestEscapes(t *testing.T) {
+	// HotAlloc rides along so the golden's `//lint:allow hotalloc` site
+	// sanction is a known annotation — and to pin that hotalloc itself stays
+	// silent on escp: &local is deliberately outside its catalogue, which is
+	// exactly the gap the escapes cross-check closes.
+	analysistest.RunAll(t, "testdata",
+		[]*analysis.Analyzer{analysis.NewEscapes(markerCollector(t)), analysis.HotAlloc}, "escp")
+}
+
+// markerCollector builds a gcdiag report from gc:escapes / gc:bounds line
+// markers in the golden package's sources, keyed by the same relative paths
+// the analysistest loader hands the fileset.
+func markerCollector(t *testing.T) analysis.Collector {
+	return func(dir string) (*gcdiag.Report, error) {
+		t.Helper()
+		report := &gcdiag.Report{ByFile: map[string][]gcdiag.Diag{}}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				switch {
+				case strings.Contains(line, "// gc:escapes"):
+					report.ByFile[path] = append(report.ByFile[path], gcdiag.Diag{
+						File: path, Line: i + 1, Code: "escapes", Message: "value escapes to heap",
+					})
+				case strings.Contains(line, "// gc:bounds"):
+					report.ByFile[path] = append(report.ByFile[path], gcdiag.Diag{
+						File: path, Line: i + 1, Code: "isInBounds", Message: "Found IsInBounds",
+					})
+				}
+			}
+		}
+		return report, nil
+	}
 }

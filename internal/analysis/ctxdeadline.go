@@ -1,0 +1,137 @@
+package analysis
+
+// ctxdeadline: every blocking network operation in the deployment packages
+// must be dominated on all CFG paths by a SetDeadline / SetReadDeadline /
+// SetWriteDeadline, or the enclosing function must carry a reachable
+// cancellation signal (a stop-channel receive or ctx.Done). This is the
+// liveness half of the paper's mitigation loop: a controller that wedges on
+// an undeadlined read stops voting links out, which is exactly the silent
+// agent failure mode Arzani et al. attribute production mitigation outages
+// to.
+//
+// The analyzer is interprocedural over the flow world. The deadline
+// must-analysis (flow/deadline.go) classifies every blocking network op and
+// every static call site as deadline-guarded or not; World.Finalize infers
+// each function's contract from its call sites: a function some caller
+// guards (arms a deadline before calling) is a *caller-guards* primitive —
+// its own unguarded ops are fine, but every remaining unguarded call site is
+// a finding (reported at the call, with the chain down to the op). A
+// function no caller guards owns its ops — unguarded ops are reported at
+// the op site inside it. Exposure never propagates past an op-owning
+// function, so one root cause yields one finding.
+//
+// Functions with a direct cancellation signal — a channel receive / select
+// or a ctx.Done reference in the body itself — are exempt: they can be
+// stopped without a deadline. The bits are deliberately *not* taken from the
+// transitive join closure: reaching a cancellable helper deep in the call
+// graph does not make the blocking loop up top stoppable.
+
+import (
+	"go/token"
+	"strings"
+
+	"corropt/internal/analysis/flow"
+)
+
+// DeploymentPackages are the packages whose code runs against live sockets
+// in production — the ctxdeadline and reslife gate. Everything else
+// (simulator, experiments, analysis itself) never blocks on a peer.
+var DeploymentPackages = map[string]bool{
+	"corropt/internal/ctlplane": true,
+	"corropt/internal/snmplite": true,
+	"corropt/cmd/corroptd":      true,
+	"corropt/cmd/corropt-agent": true,
+}
+
+// CtxDeadline is the canonical instance gated on DeploymentPackages.
+var CtxDeadline = NewCtxDeadline(DeploymentPackages)
+
+// NewCtxDeadline returns a ctxdeadline analyzer gated on the given package
+// set; the analysistest negative controls instantiate it over temp modules.
+func NewCtxDeadline(pkgs map[string]bool) *Analyzer {
+	return &Analyzer{
+		Name: "ctxdeadline",
+		Doc:  "blocking network ops in deployment packages must be deadline-dominated or cancellable",
+		Run: func(pass *Pass) error {
+			if !pkgs[pass.Path] {
+				return nil
+			}
+			w := pass.World
+			if w == nil {
+				return nil
+			}
+			for _, fs := range w.PackageFacts(pass.Path) {
+				if fs.Join.Cancellable() {
+					continue
+				}
+				// Caller-guards primitives (some caller arms a deadline
+				// before calling) get their findings at their call sites,
+				// not at the ops — or unguarded calls — inside them: their
+				// guarding callers took responsibility for the whole
+				// subtree, so only functions no caller guards report.
+				_, guarded := w.DeadlineCallers(fs.Fn)
+				if guarded > 0 {
+					continue
+				}
+				for _, op := range fs.NetOps {
+					if !op.Guarded {
+						pass.Reportf(op.Pos,
+							"%s in %s has no deadline: no Set*Deadline dominates it and %s has no cancellation signal (stop channel or ctx.Done)",
+							op.What, fs.Name, fs.Name)
+					}
+				}
+				for _, dc := range fs.DeadlineCalls {
+					if dc.Guarded {
+						continue
+					}
+					cf := w.FuncFactsOf(dc.Callee)
+					if !w.ExposesUndeadlined(cf) {
+						continue
+					}
+					path, what, opPos := deadlineChain(w, cf)
+					pass.Reportf(dc.Pos,
+						"call to %s with no deadline armed reaches undeadlined %s at %s (chain: %s)",
+						cf.Name, what, shortPos(pass.Fset, opPos), strings.Join(path, " -> "))
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// deadlineChain walks breadth-first from an exposing callee through
+// unguarded call edges to the nearest unguarded blocking network op,
+// returning the hop names, the op description, and its position. Exposure is
+// a finalized fixpoint, so a witness op always exists; the fallback covers
+// only summaries mutated after Finalize (which the driver never does).
+func deadlineChain(w *flow.World, start *flow.FuncFacts) ([]string, string, token.Pos) {
+	type entry struct {
+		fs   *flow.FuncFacts
+		path []string
+	}
+	visited := map[*flow.FuncFacts]bool{start: true}
+	queue := []entry{{start, []string{start.Name}}}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		for _, op := range e.fs.NetOps {
+			if !op.Guarded {
+				return e.path, op.What, op.Pos
+			}
+		}
+		for _, dc := range e.fs.DeadlineCalls {
+			if dc.Guarded {
+				continue
+			}
+			cf := w.FuncFactsOf(dc.Callee)
+			if cf == nil || visited[cf] || !w.ExposesUndeadlined(cf) {
+				continue
+			}
+			visited[cf] = true
+			path := make([]string, len(e.path), len(e.path)+1)
+			copy(path, e.path)
+			queue = append(queue, entry{cf, append(path, cf.Name)})
+		}
+	}
+	return []string{start.Name}, "a blocking network op", start.Pos
+}

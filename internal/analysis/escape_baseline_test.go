@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// escapeFindingRe extracts the root name and finding kind from an escapes
+// finding message ("hot path <root> has a compiler-reported heap escape ..."
+// / "... bounds check ...").
+var escapeFindingRe = regexp.MustCompile(`^hot path (\S+) has a compiler-reported (heap escape|bounds check)`)
+
+// TestEscapeBaselineIsFresh regenerates the scripts/escape_baseline.txt
+// content — one `root <pkg.func> escapes <n> bounds <n>` line per
+// //lint:hotpath root, counting live escapes-analyzer findings from a real
+// `go build -gcflags=-json` pass — and fails when the committed file drifts:
+// a root added or removed without a baseline entry, or any count moving in
+// either direction. The zero ratchet itself (every count == 0) is enforced
+// by scripts/bench_check.sh and by this test's companion check below, so an
+// escape regression fails both the Go suite and the bench gate with the
+// same attribution.
+func TestEscapeBaselineIsFresh(t *testing.T) {
+	pkgs := loadRepo(t, "./...")
+	world := BuildWorld(pkgs)
+
+	type counts struct{ escapes, bounds int }
+	byRoot := make(map[string]*counts)
+	for _, fs := range world.HotpathRoots() {
+		byRoot[fs.Pkg+"."+fs.Name] = &counts{}
+	}
+	if len(byRoot) == 0 {
+		t.Fatal("no //lint:hotpath roots found in the module; the annotations or the flow summary went missing")
+	}
+
+	// Count live (unsuppressed) escapes findings through the same
+	// RunDetailed pipeline the lint driver uses; the full suite runs so the
+	// repo's lint:allow annotations resolve against the complete known set.
+	for _, pkg := range pkgs {
+		findings, err := RunDetailed(pkg, All(), world)
+		if err != nil {
+			t.Fatalf("RunDetailed(%s): %v", pkg.Path, err)
+		}
+		for _, f := range findings {
+			if f.Analyzer != "escapes" || f.Suppressed {
+				continue
+			}
+			m := escapeFindingRe.FindStringSubmatch(f.Message)
+			if m == nil {
+				t.Errorf("%s: escapes finding with unparseable message: %q", pkg.Path, f.Message)
+				continue
+			}
+			key := pkg.Path + "." + m[1]
+			c, ok := byRoot[key]
+			if !ok {
+				t.Errorf("escapes finding attributed to %s, which is not a known //lint:hotpath root", key)
+				continue
+			}
+			if m[2] == "heap escape" {
+				c.escapes++
+			} else {
+				c.bounds++
+			}
+		}
+	}
+
+	var roots []string
+	for root := range byRoot {
+		roots = append(roots, root)
+	}
+	sort.Strings(roots)
+	var want strings.Builder
+	for _, root := range roots {
+		c := byRoot[root]
+		fmt.Fprintf(&want, "root %s escapes %d bounds %d\n", root, c.escapes, c.bounds)
+		// The companion zero check: the analyzer already fails the lint gate
+		// on any live finding, but pin the ratchet here too so a future
+		// "accept non-zero into the baseline" change has to confront the
+		// contract explicitly.
+		if c.escapes != 0 || c.bounds != 0 {
+			t.Errorf("hotpath root %s holds %d escapes / %d bounds checks; the baseline is ratcheted at zero", root, c.escapes, c.bounds)
+		}
+	}
+
+	data, err := os.ReadFile("../../scripts/escape_baseline.txt")
+	if err != nil {
+		t.Fatalf("read escape_baseline.txt: %v", err)
+	}
+	var got strings.Builder
+	for _, line := range strings.Split(string(data), "\n") {
+		if trimmed := strings.TrimSpace(line); trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		got.WriteString(line + "\n")
+	}
+	if got.String() != want.String() {
+		t.Errorf("scripts/escape_baseline.txt is stale.\n-- committed --\n%s-- regenerated --\n%s", got.String(), want.String())
+	}
+}

@@ -1,0 +1,204 @@
+package flow
+
+// The flow layer of the ctxdeadline analyzer: a must-analysis over the
+// function CFG that decides, for every blocking network operation and every
+// static call site, whether a deadline was armed — SetDeadline /
+// SetReadDeadline / SetWriteDeadline called, not deferred — on *all* paths
+// from function entry. The per-function verdicts land in
+// FuncFacts.NetOps/DeadlineCalls; World.Finalize aggregates them into
+// per-callee caller-guard counts and the undeadlined-exposure closure
+// (world.go), and the ctxdeadline analyzer turns those into findings gated
+// on the deployment packages.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Span is a half-open source range [Start, End).
+type Span struct {
+	Start, End token.Pos
+}
+
+// A NetOp is one blocking network operation (see netOps) with the verdict of
+// the deadline must-analysis: Guarded means a deadline-setter call dominates
+// the op on every CFG path from function entry.
+type NetOp struct {
+	// What describes the operation, e.g. "network read (io.ReadFull)".
+	What    string
+	Pos     token.Pos
+	Guarded bool
+}
+
+// A DeadlineCall is one static call site with the deadline-armed state at
+// the call. Every static call is recorded (not just blocking ones): the
+// exposure closure in World.Finalize needs the guard state of calls to
+// arbitrary in-module functions, since any of them may transitively reach an
+// undeadlined network op.
+type DeadlineCall struct {
+	Callee  *types.Func
+	Pos     token.Pos
+	Guarded bool
+}
+
+// netOps are the blocking network operations ctxdeadline requires a deadline
+// or cancellation signal for. Matched like blockingCalls against
+// types.Func.FullName — interface identities, no devirtualization. The io
+// entries matter because the repo's framing primitives (ctlplane.ReadMsg /
+// WriteMsg) block through io.Reader / io.Writer rather than net.Conn; a
+// bytes.Buffer passed through those interfaces cannot block, so call sites
+// that only ever frame into memory take a `//lint:allow ctxdeadline` with
+// that reason.
+var netOps = map[string]string{
+	"(net.Conn).Read":           "network read",
+	"(net.Conn).Write":          "network write",
+	"(net.PacketConn).ReadFrom": "network read",
+	"(net.PacketConn).WriteTo":  "network write",
+	"(net.Listener).Accept":     "accept",
+	"(io.Reader).Read":          "network read",
+	"(io.Writer).Write":         "network write",
+	"io.ReadFull":               "network read",
+}
+
+// isDeadlineSetter reports whether fn is a Set[Read|Write]Deadline method on
+// any receiver — net.Conn implementations, netchaos wrappers, and test fakes
+// all count, so injected dialers keep their guarding effect.
+func isDeadlineSetter(fn *types.Func) bool {
+	switch fn.Name() {
+	case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+		sig, ok := fn.Type().(*types.Signature)
+		return ok && sig.Recv() != nil
+	}
+	return false
+}
+
+// deadlineFacts runs the deadline must-analysis over the function body's
+// CFG, recording NetOps and DeadlineCalls with their all-paths verdicts.
+// State is one boolean per block: "a deadline has been armed on every path
+// reaching here". Entry starts unarmed; joins merge by AND; blocks with no
+// predecessors other than entry start at the must-analysis top (armed) so
+// unreachable post-return continuations cannot poison reachable joins.
+func (s *funcSummarizer) deadlineFacts(cfg *CFG, facts *FuncFacts) {
+	n := len(cfg.Blocks)
+	in := make([]bool, n)
+	out := make([]bool, n)
+	for i := range out {
+		in[i], out[i] = true, true
+	}
+	entry := cfg.Entry.Index
+
+	transfer := func(bi int, record bool) bool {
+		armed := in[bi]
+		for _, node := range cfg.Blocks[bi].Nodes {
+			armed = s.deadlineNode(node, armed, facts, record)
+		}
+		return armed
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range cfg.Blocks {
+			var armed bool
+			if blk.Index == entry {
+				armed = false
+			} else {
+				armed = true
+				for _, p := range blk.Preds() {
+					armed = armed && out[p.Index]
+				}
+			}
+			in[blk.Index] = armed
+			if next := transfer(blk.Index, false); next != out[blk.Index] {
+				out[blk.Index] = next
+				changed = true
+			}
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		transfer(blk.Index, true)
+	}
+}
+
+// deadlineNode processes one CFG node under the current armed state and
+// returns the state after it. Nested function literals carry their own facts
+// (they execute at an unknown time); go-statement arguments evaluate inline
+// but the spawned call itself runs concurrently, so it is neither a NetOp of
+// this body nor a DeadlineCall edge.
+func (s *funcSummarizer) deadlineNode(n ast.Node, armed bool, facts *FuncFacts, record bool) bool {
+	isDefer := false
+	if d, ok := n.(*ast.DeferStmt); ok {
+		// A deferred Set*Deadline runs at function exit and guards nothing;
+		// deferred calls are recorded with the state at the defer statement.
+		isDefer = true
+		n = d.Call
+	}
+	var walk func(ast.Node) bool
+	walk = func(nd ast.Node) bool {
+		switch nd := nd.(type) {
+		case *ast.FuncLit:
+			return false
+
+		case *ast.GoStmt:
+			for _, arg := range nd.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+
+		case *ast.CallExpr:
+			for _, arg := range nd.Args {
+				ast.Inspect(arg, walk)
+			}
+			if sel, ok := ast.Unparen(nd.Fun).(*ast.SelectorExpr); ok {
+				ast.Inspect(sel.X, walk)
+			}
+			fn := s.staticCallee(nd)
+			if fn == nil {
+				return false
+			}
+			if isDeadlineSetter(fn) {
+				if !isDefer {
+					armed = true
+					if record {
+						facts.SetsDeadline = true
+					}
+				}
+				return false
+			}
+			if record {
+				if what, ok := netOps[fn.FullName()]; ok {
+					facts.NetOps = append(facts.NetOps, NetOp{
+						What: what + " (" + displayName(fn) + ")", Pos: nd.Pos(), Guarded: armed,
+					})
+				}
+				facts.DeadlineCalls = append(facts.DeadlineCalls, DeadlineCall{
+					Callee: fn, Pos: nd.Pos(), Guarded: armed,
+				})
+			}
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n, walk)
+	return armed
+}
+
+// loopSpans collects the source spans of the body's for/range statements,
+// excluding loops inside nested function literals (which carry their own
+// facts).
+func loopSpans(body *ast.BlockStmt) []Span {
+	var spans []Span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			spans = append(spans, Span{n.Pos(), n.End()})
+		case *ast.RangeStmt:
+			spans = append(spans, Span{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return spans
+}

@@ -135,6 +135,27 @@ type FuncFacts struct {
 	// FloatAccums are the order-sensitive floating-point reductions in this
 	// body (map-iteration or channel-arrival folds).
 	FloatAccums []FloatAccum
+
+	// End is the position just past the body's closing brace; with Pos it
+	// spans the declaration so the escapes analyzer can attribute
+	// compiler-reported diagnostics to the enclosing function by line.
+	End token.Pos
+	// Loops are the source spans of the body's for/range statements (nested
+	// literals excluded) — the escapes analyzer attributes compiler-reported
+	// bounds checks inside them to this function's inner loops.
+	Loops []Span
+	// NetOps are the blocking network operations in this body (see netOps),
+	// each carrying the verdict of the deadline must-analysis in deadline.go:
+	// Guarded means a Set*Deadline call dominates the op on every CFG path.
+	NetOps []NetOp
+	// DeadlineCalls are the static call sites with the deadline-armed state
+	// at the call; World.Finalize aggregates them into per-callee
+	// caller-guard counts and the undeadlined-exposure closure that
+	// ctxdeadline consults.
+	DeadlineCalls []DeadlineCall
+	// SetsDeadline is set when the body itself arms a deadline
+	// (SetDeadline / SetReadDeadline / SetWriteDeadline, not deferred).
+	SetsDeadline bool
 }
 
 // blockingCalls are functions and methods known to block on I/O or timers.
@@ -210,6 +231,7 @@ func (s *funcSummarizer) summarizeBody(fn *types.Func, name string, pos token.Po
 		Fn:   fn,
 		Name: name,
 		Pos:  pos,
+		End:  body.End(),
 	}
 
 	cfg := NewCFG(body)
@@ -255,9 +277,14 @@ func (s *funcSummarizer) summarizeBody(fn *types.Func, name string, pos token.Po
 		transfer(blk.Index, true)
 	}
 
+	// Deadline must-analysis over the same CFG (deadline.go): which blocking
+	// network ops and call sites run with a Set*Deadline armed on all paths.
+	s.deadlineFacts(cfg, facts)
+
 	// Lexical facts that do not need flow: join bits, alias returns, direct
 	// lock set, call set.
 	s.lexicalFacts(body, facts, fnType, recv)
+	facts.Loops = loopSpans(body)
 
 	// Allocation-effect and float-accumulation facts for the hotalloc and
 	// floatorder analyzers (alloc.go); like lexicalFacts these exclude

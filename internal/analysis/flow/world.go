@@ -41,7 +41,19 @@ type World struct {
 	// chains through closures resolve; see Finalize.
 	mayAllocF map[*FuncFacts]bool
 	floatAccF map[*FuncFacts]bool
-	stats     WorldStats
+	// deadlineCallers counts, per declared function, the in-module static
+	// call sites and how many of those run with a deadline already armed;
+	// exposesF is the undeadlined-exposure closure ctxdeadline consults
+	// (see Finalize).
+	deadlineCallers map[*types.Func]callerCounts
+	exposesF        map[*FuncFacts]bool
+	stats           WorldStats
+}
+
+// callerCounts tallies a function's in-module call sites for the deadline
+// analysis: how many exist, and how many are deadline-guarded.
+type callerCounts struct {
+	total, guarded int
 }
 
 // WorldStats summarizes the finalized call graph — surfaced by
@@ -58,6 +70,9 @@ type WorldStats struct {
 	// HotpathRoots counts the `//lint:hotpath` annotated declarations the
 	// hotalloc analyzer proves allocation-free.
 	HotpathRoots int `json:"hotpath_roots"`
+	// NetOps counts the blocking network operations the deadline
+	// must-analysis classified (guarded or not) across all summaries.
+	NetOps int `json:"net_ops"`
 }
 
 type lockEdge struct {
@@ -330,6 +345,63 @@ func (w *World) Finalize() {
 		}
 	}
 
+	// Deadline-exposure closure for ctxdeadline (deadline.go). Caller-guard
+	// counts first: per declared function, how many in-module static call
+	// sites it has and how many of those run with a deadline already armed.
+	w.deadlineCallers = make(map[*types.Func]callerCounts)
+	for _, fs := range funcs {
+		for _, dc := range fs.DeadlineCalls {
+			c := w.deadlineCallers[dc.Callee]
+			c.total++
+			if dc.Guarded {
+				c.guarded++
+			}
+			w.deadlineCallers[dc.Callee] = c
+		}
+	}
+	// A summary "exposes" an undeadlined blocking op when its contract is
+	// caller-guards — at least one in-module call site arms a deadline before
+	// calling it, which is the evidence that deadlines are the caller's job —
+	// yet some path through it still reaches a blocking network op with no
+	// deadline armed and no cancellation signal of its own. Functions with no
+	// guarded caller anywhere own their ops instead (ctxdeadline reports at
+	// the op or call site inside them), so exposure never cascades past a
+	// function that is itself reportable: one root cause, one finding.
+	w.exposesF = make(map[*FuncFacts]bool, len(funcs))
+	callerGuards := func(fs *FuncFacts) bool {
+		return fs.Fn != nil && w.deadlineCallers[fs.Fn].guarded > 0
+	}
+	for _, fs := range funcs {
+		if !callerGuards(fs) || fs.Join.Cancellable() {
+			continue
+		}
+		for _, op := range fs.NetOps {
+			if !op.Guarded {
+				w.exposesF[fs] = true
+				break
+			}
+		}
+	}
+	changed = true
+	for changed {
+		changed = false
+		for _, fs := range funcs {
+			if w.exposesF[fs] || !callerGuards(fs) || fs.Join.Cancellable() {
+				continue
+			}
+			for _, dc := range fs.DeadlineCalls {
+				if dc.Guarded {
+					continue
+				}
+				if cf, ok := w.byFunc[dc.Callee]; ok && w.exposesF[cf] {
+					w.exposesF[fs] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
 	w.stats.Packages = len(pkgs)
 	for _, fs := range funcs {
 		if fs.Fn != nil {
@@ -341,6 +413,7 @@ func (w *World) Finalize() {
 		if fs.Hotpath && fs.Fn != nil {
 			w.stats.HotpathRoots++
 		}
+		w.stats.NetOps += len(fs.NetOps)
 	}
 }
 
@@ -501,6 +574,25 @@ func (w *World) LitJoinFacts(lit *FuncFacts) JoinBits {
 	}
 	return bits
 }
+
+// DeadlineCallers returns the in-module static call-site counts of a
+// declared function: how many sites exist and how many run with a deadline
+// armed on all paths to the call. Computed at Finalize.
+func (w *World) DeadlineCallers(fn *types.Func) (total, guarded int) {
+	if fn == nil {
+		return 0, 0
+	}
+	c := w.deadlineCallers[fn]
+	return c.total, c.guarded
+}
+
+// ExposesUndeadlined reports whether a summary's deadline contract is
+// caller-guards (at least one in-module call site arms a deadline first)
+// while some path through it — directly or via further unguarded calls —
+// still reaches a blocking network op with no deadline armed and no
+// cancellation signal. Every remaining call site of such a function must arm
+// a deadline before the call. Computed at Finalize.
+func (w *World) ExposesUndeadlined(fs *FuncFacts) bool { return fs != nil && w.exposesF[fs] }
 
 // MayAlloc reports whether a summary — declared function or literal — may
 // allocate, directly or transitively through unsanctioned in-module calls

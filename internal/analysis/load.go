@@ -30,6 +30,10 @@ type Package struct {
 	Types *types.Package
 	// Info carries the type-checker's resolution maps.
 	Info *types.Info
+	// Imports are the package's direct imports as listed by the go tool
+	// (all of them, module-internal and standard-library alike). The lint
+	// driver's -diff mode builds its reverse-dependency closure from these.
+	Imports []string
 }
 
 // listedPackage is the subset of `go list -json` output the loader consumes.
@@ -38,6 +42,7 @@ type listedPackage struct {
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	Module     *struct{ Path string }
 	Standard   bool
 	Error      *struct{ Err string }
@@ -125,12 +130,13 @@ func typeCheck(fset *token.FileSet, lp *listedPackage, imp types.Importer) (*Pac
 		return nil, fmt.Errorf("analysis: type-check %s: %w", lp.ImportPath, err)
 	}
 	return &Package{
-		Path:  lp.ImportPath,
-		Dir:   lp.Dir,
-		Fset:  fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:    lp.ImportPath,
+		Dir:     lp.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		Imports: lp.Imports,
 	}, nil
 }
 

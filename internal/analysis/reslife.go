@@ -1,0 +1,498 @@
+package analysis
+
+// reslife: resources acquired in the deployment packages — net.Conn,
+// net.PacketConn, net.Listener, *time.Ticker, *time.Timer, *os.File, and
+// anything (netchaos wrappers included) returned behind those types — must
+// reach a Close/Stop on every CFG path from the acquisition, or leave the
+// function's custody first. A controller that leaks one conn or ticker per
+// reconnect dies slowly at production scale; this is the lifecycle half of
+// the liveness gate next to ctxdeadline.
+//
+// The analysis is intraprocedural per function body (declarations and
+// literals alike): each acquisition — an assignment whose single
+// call-expression RHS either matches the resource-constructor table
+// (time.NewTicker, os.Open, net.Dial, ...) or returns a resource type
+// through any callee, dynamic dialer fields included — starts an obligation
+// on the assigned local. The obligation is discharged by v.Close()/v.Stop()
+// (deferred or not) and by every ownership-transfer event: v passed as a
+// call argument, returned, sent on a channel, stored into a field, map, or
+// composite literal (struct-field adoption — the constructor-return pattern
+// that must not false-positive), aliased with &v, or captured by a nested
+// function literal. A path that reaches a return or the function end with
+// the obligation outstanding is a leak, reported at the acquisition with the
+// earliest witnessing exit. Error-result guards are path-sensitive: on the
+// `err != nil` branch of the acquisition's error partner (and the nil branch
+// of the resource itself) the obligation is vacuously discharged, so
+// `if err != nil { return err }` straight after a dial never false-positives.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"corropt/internal/analysis/flow"
+)
+
+// ResLife is the canonical instance gated on DeploymentPackages.
+var ResLife = NewResLife(DeploymentPackages)
+
+// resourceType classifies t as a tracked resource, returning its display
+// name and release verb. Matching is by result type, not by constructor
+// name, so the stdlib constructors (time.NewTicker, os.Open, net.Dial,
+// net.Listen, ...), dynamic dialers (cfg.Dial function fields), and netchaos
+// wrappers returning net.Conn / net.PacketConn / net.Listener are all
+// tracked by the same rule.
+func resourceType(t types.Type) (desc, verb string, ok bool) {
+	named := namedOfType(t)
+	if named == nil {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", "", false
+	}
+	switch obj.Pkg().Path() {
+	case "net":
+		switch obj.Name() {
+		case "Conn", "PacketConn", "Listener":
+			return "net." + obj.Name(), "Close", true
+		}
+	case "os":
+		if obj.Name() == "File" {
+			return "os.File", "Close", true
+		}
+	case "time":
+		switch obj.Name() {
+		case "Ticker", "Timer":
+			return "time." + obj.Name(), "Stop", true
+		}
+	}
+	return "", "", false
+}
+
+func namedOfType(t types.Type) *types.Named {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt
+		default:
+			return nil
+		}
+	}
+}
+
+// An acquisition is one tracked resource obligation: the assignment that
+// creates it, the obligated local, and its error-result partner (nil when
+// the constructor returns no error).
+type acquisition struct {
+	stmt *ast.AssignStmt
+	v    *types.Var
+	err  *types.Var
+	desc string
+	verb string
+	pos  token.Pos
+}
+
+// NewResLife returns a reslife analyzer gated on the given package set; the
+// analysistest negative controls instantiate it over temp modules.
+func NewResLife(pkgs map[string]bool) *Analyzer {
+	return &Analyzer{
+		Name: "reslife",
+		Doc:  "acquired resources in deployment packages must be Closed/Stopped or transferred on every path",
+		Run: func(pass *Pass) error {
+			if !pkgs[pass.Path] {
+				return nil
+			}
+			r := &reslifeChecker{pass: pass}
+			for _, f := range pass.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					r.checkBody(fd.Body)
+				}
+				ast.Inspect(f, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						r.checkBody(lit.Body)
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+type reslifeChecker struct {
+	pass *Pass
+}
+
+func (r *reslifeChecker) varOf(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := r.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := r.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// acquisitions collects the tracked resource obligations of one body,
+// excluding nested function literals (checked as their own bodies).
+func (r *reslifeChecker) acquisitions(body *ast.BlockStmt) []acquisition {
+	info := r.pass.TypesInfo
+	var acqs []acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Result types, tuple or single.
+		var results []types.Type
+		switch t := info.TypeOf(call).(type) {
+		case *types.Tuple:
+			for i := 0; i < t.Len(); i++ {
+				results = append(results, t.At(i).Type())
+			}
+		case nil:
+			return true
+		default:
+			results = []types.Type{t}
+		}
+		if len(results) != len(as.Lhs) {
+			return true
+		}
+		var errVar *types.Var
+		for i, t := range results {
+			if t != nil && t.String() == "error" {
+				errVar = r.varOf(as.Lhs[i])
+			}
+		}
+		for i, t := range results {
+			desc, verb, isRes := resourceType(t)
+			if !isRes {
+				continue
+			}
+			v := r.varOf(as.Lhs[i])
+			if v == nil || v.Name() == "_" {
+				continue
+			}
+			// Track locals only: assignment to a field (selector LHS, varOf
+			// nil) or a package variable is adoption by longer-lived state,
+			// someone else's obligation.
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				continue
+			}
+			acqs = append(acqs, acquisition{
+				stmt: as, v: v, err: errVar, desc: desc, verb: verb, pos: as.Lhs[i].Pos(),
+			})
+		}
+		return true
+	})
+	return acqs
+}
+
+// checkBody runs the per-acquisition obligation analysis over one body's
+// CFG. State is one boolean per block: "the obligation is discharged on
+// every path reaching here" — trivially true before the acquisition, forced
+// false by it, restored by any discharge event. Merge is AND; error-guard
+// branches discharge on their error edge.
+func (r *reslifeChecker) checkBody(body *ast.BlockStmt) {
+	acqs := r.acquisitions(body)
+	if len(acqs) == 0 {
+		return
+	}
+	cfg := flow.NewCFG(body)
+	for _, acq := range acqs {
+		r.checkAcq(cfg, body, acq)
+	}
+}
+
+func (r *reslifeChecker) checkAcq(cfg *flow.CFG, body *ast.BlockStmt, acq acquisition) {
+	n := len(cfg.Blocks)
+	in := make([]bool, n)
+	out := make([]bool, n)
+	for i := range in {
+		in[i], out[i] = true, true
+	}
+
+	transfer := func(bi int) bool {
+		state := in[bi]
+		for _, node := range cfg.Blocks[bi].Nodes {
+			if node == ast.Node(acq.stmt) {
+				state = false
+				continue
+			}
+			if !state && r.nodeResolves(node, acq.v) {
+				state = true
+			}
+		}
+		return state
+	}
+
+	// acqBlock is the CFG block containing the acquisition statement. The
+	// error-partner guard below only applies to branches leaving this block:
+	// a later acquisition typically reuses the same err variable, and its
+	// guard says nothing about this resource's validity.
+	acqBlock := -1
+	for _, blk := range cfg.Blocks {
+		for _, node := range blk.Nodes {
+			if node == ast.Node(acq.stmt) {
+				acqBlock = blk.Index
+			}
+		}
+	}
+
+	// edgeOut is out[p] adjusted for error-guard branches: when p ends in a
+	// nil-comparison of the acquisition's error partner (or the resource
+	// itself), the branch on which the resource is invalid discharges the
+	// obligation vacuously.
+	edgeOut := func(p *flow.Block, succ *flow.Block) bool {
+		if out[p.Index] {
+			return true
+		}
+		if len(p.Nodes) == 0 || len(p.Succs) < 2 {
+			return out[p.Index]
+		}
+		bin, ok := p.Nodes[len(p.Nodes)-1].(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return out[p.Index]
+		}
+		var operand ast.Expr
+		if isNilIdent(bin.Y, r.pass.TypesInfo) {
+			operand = bin.X
+		} else if isNilIdent(bin.X, r.pass.TypesInfo) {
+			operand = bin.Y
+		} else {
+			return out[p.Index]
+		}
+		v := r.varOf(operand)
+		if v == nil || (v != acq.err && v != acq.v) {
+			return out[p.Index]
+		}
+		// The err partner is only meaningful straight out of the acquisition's
+		// block; the resource's own nil-check is meaningful anywhere.
+		if v == acq.err && p.Index != acqBlock {
+			return out[p.Index]
+		}
+		// err != nil / v == nil: the then branch (Succs[0]) is the invalid
+		// path; err == nil / v != nil: every other branch is.
+		invalidThen := (v == acq.err) == (bin.Op == token.NEQ)
+		onThen := succ == p.Succs[0]
+		if invalidThen == onThen {
+			return true
+		}
+		return out[p.Index]
+	}
+
+	entry := cfg.Entry.Index
+	changed := true
+	for changed {
+		changed = false
+		for _, blk := range cfg.Blocks {
+			state := true
+			if blk.Index != entry {
+				for _, p := range blk.Preds() {
+					state = state && edgeOut(p, blk)
+				}
+			}
+			in[blk.Index] = state
+			if next := transfer(blk.Index); next != out[blk.Index] {
+				out[blk.Index] = next
+				changed = true
+			}
+		}
+	}
+
+	// Witness pass: the earliest return (or function end) reached with the
+	// obligation outstanding.
+	witness := token.NoPos
+	note := ""
+	record := func(pos token.Pos, what string) {
+		if witness == token.NoPos || pos < witness {
+			witness, note = pos, what
+		}
+	}
+	for _, blk := range cfg.Blocks {
+		state := in[blk.Index]
+		for _, node := range blk.Nodes {
+			if node == ast.Node(acq.stmt) {
+				state = false
+				continue
+			}
+			if ret, ok := node.(*ast.ReturnStmt); ok {
+				if !state && !r.nodeResolves(node, acq.v) {
+					record(ret.Pos(), "the return at "+shortPos(r.pass.Fset, ret.Pos()))
+				}
+			}
+			if !state && r.nodeResolves(node, acq.v) {
+				state = true
+			}
+		}
+		if len(blk.Succs) == 0 && !state {
+			record(body.End(), "the end of the function")
+		}
+	}
+	if witness != token.NoPos {
+		r.pass.Reportf(acq.pos,
+			"%s %s acquired here may leak: no %s, ownership transfer, or adoption on the path to %s",
+			acq.desc, acq.v.Name(), acq.verb, note)
+	}
+}
+
+func isNilIdent(e ast.Expr, info *types.Info) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// nodeResolves reports whether one CFG node discharges the obligation on v:
+// v.Close()/v.Stop() (deferred included), v as a call argument, in return
+// results, on an assignment RHS or LHS map index, sent on a channel, &v, or
+// captured by a nested literal. A method call on v other than Close/Stop is
+// a use, not a discharge.
+func (r *reslifeChecker) nodeResolves(node ast.Node, v *types.Var) bool {
+	resolved := false
+	var walk func(ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if resolved {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if r.valueUses(n, v) {
+				resolved = true
+			}
+			return false
+		case *ast.DeferStmt:
+			if r.callResolves(n.Call, v) {
+				resolved = true
+			}
+			return !resolved
+		case *ast.GoStmt:
+			if r.callResolves(n.Call, v) {
+				resolved = true
+			}
+			return !resolved
+		case *ast.CallExpr:
+			if r.callResolves(n, v) {
+				resolved = true
+			}
+			return !resolved
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if r.valueUses(e, v) {
+					resolved = true
+				}
+			}
+			return !resolved
+		case *ast.AssignStmt:
+			for _, e := range n.Rhs {
+				if r.valueUses(e, v) {
+					resolved = true
+				}
+			}
+			for _, lhs := range n.Lhs {
+				if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && r.valueUses(ix.Index, v) {
+					resolved = true
+				}
+			}
+			return !resolved
+		case *ast.SendStmt:
+			if r.valueUses(n.Value, v) {
+				resolved = true
+			}
+			return !resolved
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && r.valueUses(n.X, v) {
+				resolved = true
+			}
+			return !resolved
+		}
+		return true
+	}
+	ast.Inspect(node, walk)
+	return resolved
+}
+
+// callResolves: v.Close()/v.Stop() discharges; any other method on v does
+// not; v appearing in the arguments transfers ownership to the callee.
+func (r *reslifeChecker) callResolves(call *ast.CallExpr, v *types.Var) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if r.varOf(sel.X) == v {
+			return sel.Sel.Name == "Close" || sel.Sel.Name == "Stop"
+		}
+	}
+	for _, a := range call.Args {
+		if r.valueUses(a, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// valueUses reports whether e mentions v in a value position — one that
+// copies or stores the resource — as opposed to a comparison or a method
+// receiver.
+func (r *reslifeChecker) valueUses(e ast.Node, v *types.Var) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return r.varOf(x) == v
+	case *ast.ParenExpr:
+		return r.valueUses(x.X, v)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND || x.Op == token.ARROW {
+			return r.valueUses(x.X, v)
+		}
+		return false
+	case *ast.StarExpr:
+		return r.valueUses(x.X, v)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if r.valueUses(kv.Value, v) || r.valueUses(kv.Key, v) {
+					return true
+				}
+				continue
+			}
+			if r.valueUses(el, v) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		for _, a := range x.Args {
+			if r.valueUses(a, v) {
+				return true
+			}
+		}
+		return false
+	case *ast.FuncLit:
+		captured := false
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && r.varOf(id) == v {
+				captured = true
+			}
+			return !captured
+		})
+		return captured
+	}
+	return false
+}

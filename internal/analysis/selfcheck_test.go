@@ -444,6 +444,106 @@ func Sum(shards map[int]float64) float64 {
 	check("floatorder", "folds map values in iteration order")
 }
 
+// TestSeededDeploymentViolationsAreCaught is the liveness-suite negative
+// control: a deadline-less blocking read, a ticker leaked on an error path,
+// and a forced heap escape plus bounds check on a //lint:hotpath root are
+// planted in a throwaway module — named corropt, so the production
+// DeploymentPackages gate itself is what fires — and must each fail the
+// gate through the exact Load + BuildWorld + RunW pipeline the lint driver
+// uses. The escapes control runs the real compiler harness over the temp
+// module, pinning the gcdiag plumbing end to end.
+func TestSeededDeploymentViolationsAreCaught(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module corropt\n\ngo 1.22\n")
+	write("internal/snmplite/pump.go", `package snmplite
+
+import "net"
+
+// Pump deliberately reads with no deadline and no cancellation signal.
+func Pump(c net.Conn, buf []byte) {
+	for {
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+	}
+}
+`)
+	write("internal/ctlplane/tick.go", `package ctlplane
+
+import (
+	"errors"
+	"time"
+)
+
+// Watch deliberately leaks its ticker on the error path.
+func Watch(d time.Duration, bad bool) error {
+	t := time.NewTicker(d)
+	if bad {
+		return errors.New("setup failed")
+	}
+	t.Stop()
+	return nil
+}
+`)
+	write("internal/hotshape/hot.go", `package hotshape
+
+var sink *int
+
+// Hot deliberately forces a heap escape and an unprovable bounds check on
+// a hot path.
+//
+//lint:hotpath forced escape negative control
+func Hot(xs []int, i int) int {
+	x := 3
+	sink = &x
+	s := 0
+	for k := 0; k < 4; k++ {
+		s += xs[i]
+	}
+	return s
+}
+`)
+
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load(corropt seed): %v", err)
+	}
+	world := BuildWorld(pkgs)
+	byAnalyzer := make(map[string][]string)
+	for _, pkg := range pkgs {
+		diags, err := RunW(pkg, All(), world)
+		if err != nil {
+			t.Fatalf("Run(%s): %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], pkg.Path+": "+d.Message)
+		}
+	}
+	check := func(analyzer, substr string) {
+		t.Helper()
+		for _, msg := range byAnalyzer[analyzer] {
+			if strings.Contains(msg, substr) {
+				return
+			}
+		}
+		t.Errorf("seeded %s violation not caught: no finding containing %q in %v", analyzer, substr, byAnalyzer[analyzer])
+	}
+	check("ctxdeadline", "network read ((Conn).Read) in Pump has no deadline")
+	check("reslife", "time.Ticker t acquired here may leak")
+	check("escapes", "hot path Hot has a compiler-reported heap escape in Hot: x escapes to heap")
+	check("escapes", "hot path Hot has a compiler-reported bounds check in its inner loop")
+}
+
 // TestLintParallelMatchesSerial pins the driver's determinism contract: the
 // merged findings (including suppressed ones) produced by the runner.Map
 // fan-out that cmd/corropt-lint uses are byte-identical for 1 worker and 8.

@@ -1,0 +1,126 @@
+// Package ctxdl is the ctxdeadline golden package: blocking network ops
+// must be dominated on every CFG path by a Set*Deadline call, or the
+// enclosing function must carry its own cancellation signal. Functions that
+// at least one caller guards become caller-guards primitives — their
+// remaining unguarded call sites are the findings, reported with the chain
+// down to the op; functions no caller guards own their ops and are reported
+// at the op site.
+package ctxdl
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// serveOwned owns its read: nobody arms a deadline before calling it, no
+// cancellation signal, so the op site is the finding.
+func serveOwned(c net.Conn, buf []byte) {
+	_, _ = c.Read(buf) // want `network read \(\(Conn\)\.Read\) in serveOwned has no deadline`
+}
+
+// serveGuarded arms a read deadline on every path before reading.
+func serveGuarded(c net.Conn, buf []byte) {
+	_ = c.SetReadDeadline(time.Time{}.Add(time.Second))
+	_, _ = c.Read(buf)
+}
+
+// serveBranch arms the deadline on only one branch: the merge is a
+// must-analysis AND, so the read stays unguarded.
+func serveBranch(c net.Conn, buf []byte, fast bool) {
+	if fast {
+		_ = c.SetReadDeadline(time.Time{}.Add(time.Second))
+	}
+	_, _ = c.Read(buf) // want `network read \(\(Conn\)\.Read\) in serveBranch has no deadline`
+}
+
+// serveDeferred defers the setter: a deferred Set*Deadline runs after the
+// read, so it does not arm.
+func serveDeferred(c net.Conn, buf []byte) {
+	defer c.SetDeadline(time.Time{})
+	_, _ = c.Read(buf) // want `network read \(\(Conn\)\.Read\) in serveDeferred has no deadline`
+}
+
+// serveStop carries its own cancellation signal (a stop-channel receive),
+// so it can be shut down without a deadline: exempt.
+func serveStop(c net.Conn, buf []byte, stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// serveCtx reads ctx.Done in its own body: exempt.
+func serveCtx(ctx context.Context, c net.Conn, buf []byte) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// pump is a caller-guards primitive: exchange arms a deadline before
+// calling it, so its own unguarded read is the callers' responsibility and
+// produces no op-site finding. The unguarded call in relayNoDeadline is the
+// finding, reported at the call with the chain down to the op.
+func pump(c net.Conn, buf []byte) error {
+	_, err := c.Read(buf)
+	return err
+}
+
+func exchange(c net.Conn, buf []byte) error {
+	if err := c.SetReadDeadline(time.Time{}.Add(time.Second)); err != nil {
+		return err
+	}
+	return pump(c, buf)
+}
+
+func relayNoDeadline(c net.Conn, buf []byte) error {
+	return pump(c, buf) // want `call to pump with no deadline armed reaches undeadlined network read \(\(Conn\)\.Read\) at ctxdl\.go:\d+ \(chain: pump\)`
+}
+
+// relayTwoHops reaches pump through mid, which no caller guards either but
+// which exchangeMid guards: the chain spans both hops.
+func mid(c net.Conn, buf []byte) error {
+	return pump(c, buf)
+}
+
+func exchangeMid(c net.Conn, buf []byte) error {
+	_ = c.SetWriteDeadline(time.Time{}.Add(time.Second))
+	return mid(c, buf)
+}
+
+func relayTwoHops(c net.Conn, buf []byte) error {
+	return mid(c, buf) // want `call to mid with no deadline armed reaches undeadlined network read \(\(Conn\)\.Read\) at ctxdl\.go:\d+ \(chain: mid -> pump\)`
+}
+
+// serveAllowed is the suppression case: the accept has no deadline API, and
+// the annotation carries a reason, so no finding survives.
+func serveAllowed(ln net.Listener) {
+	for {
+		//lint:allow ctxdeadline Accept is unblocked by Close and Listener has no Set\*Deadline
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = conn.Close()
+	}
+}
+
+// spawner hands the connection to a goroutine: the spawned function owns
+// its ops (the report lands inside it via serveOwned's want above), and the
+// go statement itself is not a deadline call site.
+func spawner(c net.Conn, buf []byte) {
+	go serveOwned(c, buf)
+}

@@ -1,0 +1,83 @@
+// Package escp is the escapes golden package, driven by a fake compiler
+// collector: the test scans these sources for `gc:escapes` / `gc:bounds`
+// markers and synthesizes the corresponding gcdiag report, so the golden
+// pins the analyzer's attribution logic (transitive chain walk for escapes,
+// own-loops-only for bounds checks, hotalloc-sanction skipping) without
+// depending on a particular compiler version's escape-analysis verdicts.
+// Findings anchor at the root declaration, like hotalloc.
+package escp
+
+var sink *int
+
+// escRoot's own body has a compiler-reported escape.
+//
+//lint:hotpath
+func escRoot() *int { // want `hot path escRoot has a compiler-reported heap escape in escRoot: value escapes to heap at escp\.go:\d+$`
+	x := 0
+	return &x // gc:escapes
+}
+
+// chainRoot reaches an escape two hops down; the finding carries the chain.
+//
+//lint:hotpath
+func chainRoot() { // want `hot path chainRoot has a compiler-reported heap escape in leafEsc: value escapes to heap at escp\.go:\d+ \(chain: chainRoot -> midEsc -> leafEsc\)`
+	midEsc()
+}
+
+func midEsc() { leafEsc() }
+
+func leafEsc() {
+	y := 1
+	sink = &y // gc:escapes
+}
+
+// loopRoot has a bounds check inside its own loop.
+//
+//lint:hotpath
+func loopRoot(xs []int) int { // want `hot path loopRoot has a compiler-reported bounds check in its inner loop at escp\.go:\d+`
+	s := 0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i] // gc:bounds
+	}
+	return s
+}
+
+// calleeLoopRoot's bounds check sits in a callee's loop, not the root's
+// own: bounds attribution is own-loops-only, so no finding.
+//
+//lint:hotpath
+func calleeLoopRoot(xs []int) int {
+	return sumIndexed(xs)
+}
+
+func sumIndexed(xs []int) int {
+	s := 0
+	for i := range xs {
+		s += xs[i] // gc:bounds
+	}
+	return s
+}
+
+// straightRoot's bounds check is outside any loop: per-call, not per-event
+// — no finding.
+//
+//lint:hotpath
+func straightRoot(xs []int) int {
+	return xs[0] // gc:bounds
+}
+
+// sanctionedRoot's escape sits on a line hotalloc already sanctions: an
+// acknowledged allocation, not a cross-check failure.
+//
+//lint:hotpath
+func sanctionedRoot() []int {
+	//lint:allow hotalloc warmup growth, amortized away
+	buf := make([]int, 8) // gc:escapes
+	return buf
+}
+
+// notHot is no hotpath root: its escape concerns nobody.
+func notHot() *int {
+	z := 2
+	return &z // gc:escapes
+}

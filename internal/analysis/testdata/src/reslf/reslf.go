@@ -1,0 +1,168 @@
+// Package reslf is the reslife golden package: acquired resources —
+// net.Conn / net.PacketConn / net.Listener / *os.File / *time.Ticker /
+// *time.Timer, matched by result type so dynamic dialers count — must reach
+// a Close/Stop on every CFG path from the acquisition, or leave the
+// function's custody first (returned, passed on, stored into longer-lived
+// state, sent on a channel, captured). Findings are reported at the
+// acquisition with the earliest witnessing exit; `if err != nil { return }`
+// straight after the acquisition never counts as a leak.
+package reslf
+
+import (
+	"errors"
+	"net"
+	"os"
+	"time"
+)
+
+// leakEarlyReturn closes on the happy path but leaks on the early return.
+func leakEarlyReturn(dial func(string) (net.Conn, error), flag bool) error {
+	conn, err := dial("x") // want `net\.Conn conn acquired here may leak: no Close, ownership transfer, or adoption on the path to the return at reslf\.go:\d+`
+	if err != nil {
+		return err
+	}
+	if flag {
+		return errors.New("early")
+	}
+	return conn.Close()
+}
+
+// leakTicker never stops the ticker: receiving from t.C is a use, not a
+// discharge, so the leak witnesses the end of the function.
+func leakTicker(d time.Duration) {
+	t := time.NewTicker(d) // want `time\.Ticker t acquired here may leak: no Stop, ownership transfer, or adoption on the path to the end of the function`
+	select {
+	case <-t.C:
+	default:
+	}
+}
+
+// leakSecond: the second acquisition reuses err, and its guard says nothing
+// about a's validity — a leaks on b's error return.
+func leakSecond(open func(string) (*os.File, error)) error {
+	a, err := open("a") // want `os\.File a acquired here may leak: no Close, ownership transfer, or adoption on the path to the return at reslf\.go:\d+`
+	if err != nil {
+		return err
+	}
+	b, err := open("b")
+	if err != nil {
+		return err
+	}
+	_ = b.Close()
+	return a.Close()
+}
+
+// leakInLiteral: function literals are checked as their own bodies; a
+// method call on the resource is not a discharge.
+func leakInLiteral(dial func(string) (net.Conn, error)) func() {
+	return func() {
+		conn, err := dial("x") // want `net\.Conn conn acquired here may leak: no Close, ownership transfer, or adoption on the path to the end of the function`
+		if err != nil {
+			return
+		}
+		_ = conn.RemoteAddr()
+	}
+}
+
+// cleanErrGuard: the error-guard edge discharges vacuously — no finding.
+func cleanErrGuard(dial func(string) (net.Conn, error)) error {
+	conn, err := dial("x")
+	if err != nil {
+		return err
+	}
+	return conn.Close()
+}
+
+// cleanDefer: a deferred Close discharges every path after it.
+func cleanDefer(dial func(string) (net.Conn, error), buf []byte) error {
+	conn, err := dial("x")
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	_, err = conn.Read(buf)
+	return err
+}
+
+// cleanReturn: returning the resource transfers ownership to the caller —
+// the constructor-return pattern.
+func cleanReturn(ln net.Listener) (net.Conn, error) {
+	conn, err := ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+type holder struct{ conn net.Conn }
+
+// cleanAdopt: storing into a struct field is adoption by longer-lived
+// state; the obligation moves with it.
+func cleanAdopt(h *holder, dial func(string) (net.Conn, error)) error {
+	conn, err := dial("x")
+	if err != nil {
+		return err
+	}
+	h.conn = conn
+	return nil
+}
+
+// cleanRegister: a map insert keyed by the resource transfers custody to
+// the registry (the ctlplane conns-set pattern).
+func cleanRegister(reg map[net.Conn]bool, dial func(string) (net.Conn, error)) error {
+	conn, err := dial("x")
+	if err != nil {
+		return err
+	}
+	reg[conn] = true
+	return nil
+}
+
+// cleanSpawn: handing the resource to a goroutine transfers custody.
+func cleanSpawn(dial func(string) (net.Conn, error), handle func(net.Conn)) error {
+	conn, err := dial("x")
+	if err != nil {
+		return err
+	}
+	go handle(conn)
+	return nil
+}
+
+// cleanCapture: a nested literal capturing the resource owns it now.
+func cleanCapture(dial func(string) (net.Conn, error)) (func() error, error) {
+	conn, err := dial("x")
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return conn.Close() }, nil
+}
+
+// cleanSend: sending the resource on a channel transfers custody.
+func cleanSend(dial func(string) (net.Conn, error), sink chan net.Conn) error {
+	conn, err := dial("x")
+	if err != nil {
+		return err
+	}
+	sink <- conn
+	return nil
+}
+
+// cleanNilGuard: the resource's own nil-check guards the invalid branch.
+func cleanNilGuard(pick func() net.Conn) error {
+	conn := pick()
+	if conn == nil {
+		return errors.New("no conn")
+	}
+	return conn.Close()
+}
+
+// allowedTicker: the annotated acquisition is a sanctioned process-lifetime
+// resource — the finding is suppressed, so no want here.
+func allowedTicker(d time.Duration) {
+	//lint:allow reslife process-lifetime ticker, stopped by exit
+	t := time.NewTicker(d)
+	select {
+	case <-t.C:
+	default:
+	}
+}

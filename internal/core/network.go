@@ -264,10 +264,17 @@ func (n *Network) PenaltyRegistered() bool { return n.penalty != nil }
 // TotalPenalty scan, so incremental drift never outlives one epoch). It
 // panics if no penalty function was registered.
 //
+// panicNoPenalty is pre-converted to an interface at package scope: a
+// literal panic("...") performs a string-to-interface conversion whose
+// operand the compiler heap-allocates at every call site, and PenaltySum
+// inlines into every hot-path settle — the escapes analyzer holds those
+// frames to zero compiler-reported escapes.
+var panicNoPenalty any = "core: PenaltySum called without RegisterPenalty"
+
 //lint:hotpath every Sim.settle and control-plane status read lands here
 func (n *Network) PenaltySum() float64 {
 	if n.penalty == nil {
-		panic("core: PenaltySum called without RegisterPenalty")
+		panic(panicNoPenalty)
 	}
 	if n.penaltyOps >= penaltyRebuildEvery {
 		n.rebuildPenaltySum()
@@ -357,14 +364,25 @@ func (n *Network) NumActiveCorrupting(threshold float64) int {
 	return count
 }
 
+// panicToRRange is pre-converted at package scope for the same reason as
+// panicNoPenalty: meets inlines into the CanDisable hot loop.
+var panicToRRange any = "core: meets: ToR index out of range"
+
 // meets reports whether ToR tor meets its constraint given per-ToR counts
-// and totals.
+// and totals. The single up-front range guard replaces the three implicit
+// bounds checks the indexed reads would otherwise each carry inside
+// CanDisable's probe loop (the escapes analyzer holds hot-path inner loops
+// to zero compiler-inserted bounds checks); out-of-range ToRs still panic.
 func (n *Network) meets(tor topology.SwitchID, counts, total []int64) bool {
-	if total[tor] == 0 {
-		return n.constraint[tor] <= 0
+	i := int(tor)
+	if i < 0 || i >= len(counts) || i >= len(total) || i >= len(n.constraint) {
+		panic(panicToRRange)
 	}
-	frac := float64(counts[tor]) / float64(total[tor])
-	return frac+constraintSlack >= n.constraint[tor]
+	if total[i] == 0 {
+		return n.constraint[i] <= 0
+	}
+	frac := float64(counts[i]) / float64(total[i])
+	return frac+constraintSlack >= n.constraint[i]
 }
 
 // refreshToR re-evaluates one ToR's constraint status against the

@@ -248,7 +248,10 @@ func TestReplyCacheEviction(t *testing.T) {
 
 func TestSweepStale(t *testing.T) {
 	engine := testEngine(t)
-	vc := simclock.Virtual{Clock: simclock.New()}
+	// The epoch is anchored at real now: the controller arms socket
+	// deadlines from this clock, and the kernel evaluates them against real
+	// time — a zero epoch would make every deadline already expired.
+	vc := simclock.Virtual{Clock: simclock.New(), Epoch: time.Now()}
 	ctl, err := NewControllerClock("127.0.0.1:0", engine, vc)
 	if err != nil {
 		t.Fatal(err)

@@ -16,6 +16,18 @@ import (
 // recent sequence numbers, so a small FIFO window is plenty.
 const maxCachedReplies = 128
 
+// connIdleTimeout bounds how long serveConn waits for an agent's next
+// request, and connWriteTimeout how long one reply write may take. Agents
+// poll far more often than the idle bound, so only a dead or wedged peer —
+// the silent-agent failure mode the liveness sweep exists for — ever trips
+// them; without the read deadline a connection whose peer vanished without
+// a FIN (the common way a corrupting ToR uplink kills a TCP session) would
+// pin its serveConn goroutine forever.
+const (
+	connIdleTimeout  = 5 * time.Minute
+	connWriteTimeout = 30 * time.Second
+)
+
 // agentState tracks one reporting agent: when it was last heard from (for
 // the liveness sweep) and its recent replies keyed by sequence number (for
 // idempotent replay after a reconnect).
@@ -112,6 +124,9 @@ func (c *Controller) Close() error {
 func (c *Controller) acceptLoop() {
 	defer c.wg.Done()
 	for {
+		// net.Listener has no deadline API; Close unblocks Accept, which is
+		// the only way this loop ever needs to stop.
+		//lint:allow ctxdeadline Accept is unblocked by ln.Close and Listener has no Set*Deadline
 		conn, err := c.ln.Accept()
 		if err != nil {
 			return
@@ -138,6 +153,9 @@ func (c *Controller) serveConn(conn net.Conn) {
 		c.lnMu.Unlock()
 	}()
 	for {
+		if err := conn.SetReadDeadline(c.clock.Now().Add(connIdleTimeout)); err != nil {
+			return
+		}
 		msg, err := ReadMsg(conn)
 		if err != nil {
 			if !errors.Is(err, net.ErrClosed) && c.Logger != nil {
@@ -146,6 +164,9 @@ func (c *Controller) serveConn(conn net.Conn) {
 			return
 		}
 		reply := c.handle(msg)
+		if err := conn.SetWriteDeadline(c.clock.Now().Add(connWriteTimeout)); err != nil {
+			return
+		}
 		if err := WriteMsg(conn, reply); err != nil {
 			if c.Logger != nil {
 				c.Logger.Printf("ctlplane: write to %v: %v", conn.RemoteAddr(), err)

@@ -422,12 +422,24 @@ func (s *Sim) accrue(now time.Duration) {
 		if end > now {
 			end = now
 		}
-		d := int(at / day)
-		for len(s.result.PenaltyPerDay) <= d {
-			//lint:allow hotalloc grows once per simulated day, not per event
-			s.result.PenaltyPerDay = append(s.result.PenaltyPerDay, 0)
+		// d is unsigned so both indexed adds below need only the upper bound,
+		// which the guard (hot) and the grow loop's exit condition (cold)
+		// each prove — the compiler inserts no bounds check on either line,
+		// which the escapes analyzer holds hot-path inner loops to. at >= 0
+		// always (lastAccrueAt only ever advances from zero).
+		d := uint(at / day)
+		ppd := s.result.PenaltyPerDay
+		if d < uint(len(ppd)) {
+			ppd[d] += s.lastPenalty * (end - at).Seconds()
+		} else {
+			// Cold: first interval of a new simulated day.
+			for uint(len(ppd)) <= d {
+				//lint:allow hotalloc grows once per simulated day, not per event
+				ppd = append(ppd, 0)
+			}
+			ppd[d] += s.lastPenalty * (end - at).Seconds()
+			s.result.PenaltyPerDay = ppd
 		}
-		s.result.PenaltyPerDay[d] += s.lastPenalty * (end - at).Seconds()
 		at = end
 	}
 	s.lastAccrueAt = now

@@ -29,7 +29,11 @@ func (Real) Now() time.Time {
 type Virtual struct {
 	// Clock supplies the virtual offset.
 	Clock *Clock
-	// Epoch anchors offset zero; the zero time is a fine epoch.
+	// Epoch anchors offset zero. For pure bookkeeping (timestamps compared
+	// only with each other) the zero time is a fine epoch; when the clock
+	// feeds Set*Deadline on real sockets (ctlplane, snmplite), anchor it
+	// near real now — the kernel evaluates deadlines against real time, so
+	// a zero epoch makes every deadline already expired.
 	Epoch time.Time
 }
 

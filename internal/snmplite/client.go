@@ -143,6 +143,12 @@ func (c *Client) getOnce(queries []Query) ([]Value, error) {
 		if p.Budget > 0 && c.cfg.Clock.Now().Sub(start) > p.Budget {
 			break
 		}
+		// The send gets the same per-attempt bound as the response wait: UDP
+		// writes rarely block, but a wrapped (chaos) or backpressured socket
+		// must not wedge the poll loop past its retry budget.
+		if err := c.conn.SetWriteDeadline(c.cfg.Clock.Now().Add(c.cfg.Timeout)); err != nil {
+			return nil, err
+		}
 		if _, err := c.conn.Write(pkt); err != nil {
 			return nil, fmt.Errorf("snmplite: send: %w", err)
 		}

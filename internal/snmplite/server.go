@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"corropt/internal/simclock"
 )
 
 // Provider answers counter queries; implementations adapt telemetry
@@ -22,10 +25,17 @@ func (f ProviderFunc) Counter(link uint32, counter CounterID) (uint64, error) {
 	return f(link, counter)
 }
 
+// serveDeadlineTick is the read-deadline interval of the serve loop. The
+// loop never blocks longer than one tick: even a packet socket whose Close
+// does not unblock a pending ReadFrom (chaos-harness wrappers are free to
+// behave that way) lets the loop observe shutdown within a tick.
+const serveDeadlineTick = 250 * time.Millisecond
+
 // Server answers snmplite GET requests over UDP.
 type Server struct {
 	provider Provider
 	conn     net.PacketConn
+	clock    simclock.WallClock
 
 	mu     sync.Mutex
 	closed bool
@@ -51,10 +61,20 @@ func NewServer(addr string, provider Provider) (*Server, error) {
 // injection point chaos harnesses use to wrap the reply path in fault
 // injection. The server owns conn and closes it on Close.
 func NewServerConn(conn net.PacketConn, provider Provider) (*Server, error) {
+	return NewServerConnClock(conn, provider, simclock.Real{})
+}
+
+// NewServerConnClock is NewServerConn with an injected wall clock, for
+// harnesses that drive the serve loop's read deadlines against virtual
+// time.
+func NewServerConnClock(conn net.PacketConn, provider Provider, clock simclock.WallClock) (*Server, error) {
 	if provider == nil {
 		return nil, errors.New("snmplite: nil provider")
 	}
-	s := &Server{provider: provider, conn: conn, done: make(chan struct{})}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	s := &Server{provider: provider, conn: conn, clock: clock, done: make(chan struct{})}
 	go s.serve()
 	return s, nil
 }
@@ -85,16 +105,33 @@ func (s *Server) serve() {
 	defer close(s.done)
 	buf := make([]byte, 64*1024)
 	for {
+		// Deadline-tick rather than block forever: see serveDeadlineTick.
+		_ = s.conn.SetReadDeadline(s.clock.Now().Add(serveDeadlineTick))
 		n, peer, err := s.conn.ReadFrom(buf)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if s.isClosed() {
+					return
+				}
+				continue
+			}
 			return // closed
 		}
 		reply := s.handle(buf[:n])
 		if reply != nil {
-			// Best-effort: UDP pollers retry on loss.
+			// Best-effort: UDP pollers retry on loss. The write inherits the
+			// read deadline's liveness bound: a wedged socket trips it.
 			_, _ = s.conn.WriteTo(reply, peer)
 		}
 	}
+}
+
+// isClosed reports whether Close has begun.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 // handle builds the reply for one datagram; nil drops it (unparseable

@@ -6,9 +6,12 @@
 #   2. corropt-lint      — this repository's own analyzer suite
 #                          (nodeterminism, maprange, errwrap, mutexheld,
 #                          lockorder, gorolife, aliasescape, stalecache,
-#                          hotalloc, floatorder; DESIGN.md §8).
-#                          Self-contained on the standard library, so it
-#                          runs offline and hermetically.
+#                          hotalloc, floatorder, ctxdeadline, reslife,
+#                          escapes; DESIGN.md §8). Self-contained on the
+#                          standard library — the escapes analyzer shells
+#                          out to the pinned go toolchain for its
+#                          optimization-diagnostics pass — so it runs
+#                          offline and hermetically.
 #   3. staticcheck       — run when the binary is on PATH; skipped with a
 #                          warning otherwise so the gate stays green in
 #                          hermetic environments without network access.
