@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test lint lint-fast vet ci race test-race test-chaos cover fuzz bench bench-experiments bench-fleet bench-hotpath bench-lint bench-check bench-profile clean
+.PHONY: all build test lint lint-fast vet ci race test-race test-chaos test-scenarios cover fuzz bench bench-experiments bench-fleet bench-hotpath bench-lint bench-check bench-profile clean
 
 all: build test
 
@@ -35,7 +35,7 @@ lint-fast:
 	$(GO) run ./cmd/corropt-lint -diff $(LINT_DIFF_REF) ./...
 
 ## ci: everything the CI workflow runs, in the same order.
-ci: build test lint race test-race test-chaos cover
+ci: build test lint race test-race test-chaos test-scenarios cover
 
 ## race: the parallel-optimizer and incremental-engine paths under the race
 ## detector (Workers>1 workers each own a cloned PathCounter scratch).
@@ -61,6 +61,14 @@ test-race:
 test-chaos:
 	$(GO) test -race ./internal/netchaos/... ./internal/integration/...
 
+## test-scenarios: the declarative scenario gate (DESIGN.md §7.6) under the
+## race detector — every profile in scenarios/ replayed at Workers=1 and
+## Workers=8 against its committed golden transcript, the fig14 DSL file
+## pinned against the hard-coded experiments driver, and the malformed
+## corpus pinned to position-bearing errors.
+test-scenarios:
+	$(GO) test -race ./internal/scenario/...
+
 ## cover: per-package coverage ratchet for the deployment path (backoff,
 ## ctlplane, detector, netchaos, snmplite). Fails when any package drops
 ## below its recorded floor; `scripts/coverage.sh update` re-records them.
@@ -76,6 +84,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzFaultyFrame -fuzztime 10s ./internal/ctlplane
 	$(GO) test -run '^$$' -fuzz FuzzFaultyRequest -fuzztime 10s ./internal/snmplite
 	$(GO) test -run '^$$' -fuzz FuzzFaultyResponse -fuzztime 10s ./internal/snmplite
+	$(GO) test -run '^$$' -fuzz FuzzScenarioParse -fuzztime 10s ./internal/scenario
 
 ## bench: core mitigation-engine benchmarks (fast checker, optimizer,
 ## path counting), 5 repetitions with allocation stats; raw text goes to

@@ -8,6 +8,12 @@
 //	corropt-sim -policy corropt -capacity 0.75 -days 90 -pods 8
 //	corropt-sim -policy switch-local -trace-out faults.jsonl
 //	corropt-sim -policy corropt -trace-in faults.jsonl -series
+//
+// Declarative scenarios (see scenarios/ and DESIGN.md §7.6):
+//
+//	corropt-sim run scenarios/flap_storm.json
+//	corropt-sim run -golden scenarios/fig14_small.json
+//	corropt-sim validate scenarios/*.json
 package main
 
 import (
@@ -21,6 +27,18 @@ import (
 )
 
 func main() {
+	// Subcommand forms first; anything else is the legacy flag mode.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			runScenarioCmd(os.Args[2:])
+			return
+		case "validate":
+			validateCmd(os.Args[2:])
+			return
+		}
+	}
+
 	var (
 		policyName = flag.String("policy", "corropt", "none | switch-local | fast-only | corropt")
 		capacity   = flag.Float64("capacity", 0.75, "per-ToR capacity constraint c in [0,1]")

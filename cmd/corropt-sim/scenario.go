@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"corropt/internal/scenario"
+)
+
+// runScenarioCmd implements `corropt-sim run <file.json>`: parse,
+// compile, execute, print the transcript, and exit nonzero if any
+// declared assertion fails. With -golden the transcript is also diffed
+// against <dir>/golden/<base>.txt; with -write-golden it is written
+// there instead.
+func runScenarioCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker pool size (<=0 means serial; transcript is identical either way)")
+	golden := fs.Bool("golden", false, "diff the transcript against the committed golden and fail on mismatch")
+	writeGolden := fs.Bool("write-golden", false, "write the transcript to the golden path and exit")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: corropt-sim run [-workers N] [-golden | -write-golden] <scenario.json>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	file := fs.Arg(0)
+
+	out := executeScenario(file, *workers)
+	transcript := out.Transcript()
+
+	goldenPath := filepath.Join(filepath.Dir(file), "golden",
+		strings.TrimSuffix(filepath.Base(file), filepath.Ext(file))+".txt")
+	if *writeGolden {
+		if err := os.WriteFile(goldenPath, []byte(transcript), 0o644); err != nil {
+			fatalf("write golden: %v", err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", goldenPath, len(transcript))
+		return
+	}
+
+	fmt.Print(transcript)
+	if *golden {
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			fatalf("read golden %s (run with -write-golden to create): %v", goldenPath, err)
+		}
+		if !bytes.Equal([]byte(transcript), want) {
+			fatalf("transcript differs from golden %s", goldenPath)
+		}
+		fmt.Printf("golden: %s matches\n", goldenPath)
+	}
+	if !out.Passed {
+		os.Exit(1)
+	}
+}
+
+// validateCmd implements `corropt-sim validate <file.json>...`: parse
+// and compile each file without executing it, reporting the first error
+// per file with its position. Exit status 1 if any file is invalid.
+func validateCmd(args []string) {
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: corropt-sim validate <scenario.json>...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, file := range args {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corropt-sim: %v\n", err)
+			bad++
+			continue
+		}
+		s, err := scenario.Parse(data, file)
+		if err == nil {
+			_, err = scenario.Compile(s)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			bad++
+			continue
+		}
+		fmt.Printf("%s: ok (%q, %d runs, %d events, %d assertions)\n",
+			file, s.Name, len(s.Runs), len(s.Events), len(s.Assertions))
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func executeScenario(file string, workers int) *scenario.Outcome {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	s, err := scenario.Parse(data, file)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	c, err := scenario.Compile(s)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	out, err := scenario.Execute(c, scenario.Options{Workers: workers})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return out
+}

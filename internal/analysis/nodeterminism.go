@@ -57,6 +57,7 @@ var DeterminismConfig = map[string]Rules{
 	"corropt/internal/trace":       RulesAll,
 	"corropt/internal/rngutil":     RulesAll,
 	"corropt/internal/simclock":    RulesAll,
+	"corropt/internal/scenario":    RulesAll,
 	"corropt/internal/backoff":     RulesAll,
 	"corropt/internal/netchaos":    RulesAll,
 

@@ -1,0 +1,308 @@
+package scenario
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Encode renders a scenario in canonical form: two-space indentation,
+// fields in a fixed order, every default-filled value written explicitly,
+// empty optional sections omitted. For any s produced by Parse,
+// Parse(Encode(s)) returns a Scenario deeply equal to s (the fixpoint
+// FuzzScenarioParse pins), and Encode is a pure function of the struct, so
+// re-encoding is byte-stable.
+func Encode(s *Scenario) []byte {
+	e := &encoder{}
+	e.open("{")
+	e.field("version", strconv.Itoa(s.Version))
+	e.field("name", quoteString(s.Name))
+	if s.Description != "" {
+		e.field("description", quoteString(s.Description))
+	}
+	e.field("seed", strconv.FormatUint(s.Seed, 10))
+	e.field("horizon", quoteString(formatDur(s.Horizon)))
+	e.field("sample_interval", quoteString(formatDur(s.SampleInterval)))
+	e.key("topology")
+	e.topology(&s.Topology)
+	if s.Chaos != nil {
+		e.key("chaos")
+		e.chaos(s.Chaos)
+	}
+	if len(s.Events) > 0 {
+		e.key("events")
+		e.open("[")
+		for i := range s.Events {
+			e.item()
+			e.event(&s.Events[i])
+		}
+		e.close("]")
+	}
+	e.key("runs")
+	e.open("[")
+	for i := range s.Runs {
+		e.item()
+		e.run(&s.Runs[i])
+	}
+	e.close("]")
+	if len(s.Assertions) > 0 {
+		e.key("assertions")
+		e.open("[")
+		for i := range s.Assertions {
+			e.item()
+			e.assertion(&s.Assertions[i])
+		}
+		e.close("]")
+	}
+	e.close("}")
+	e.b.WriteByte('\n')
+	return []byte(e.b.String())
+}
+
+// encoder writes nested JSON with layout state: indent depth and whether
+// the current container already has a member (for comma placement).
+type encoder struct {
+	b      strings.Builder
+	indent int
+	first  []bool
+}
+
+func (e *encoder) line() {
+	e.b.WriteByte('\n')
+	for i := 0; i < e.indent; i++ {
+		e.b.WriteString("  ")
+	}
+}
+
+// pre starts a new member slot in the current container.
+func (e *encoder) pre() {
+	if n := len(e.first); n > 0 {
+		if !e.first[n-1] {
+			e.b.WriteByte(',')
+		}
+		e.first[n-1] = false
+		e.line()
+	}
+}
+
+func (e *encoder) open(bracket string) {
+	e.b.WriteString(bracket)
+	e.indent++
+	e.first = append(e.first, true)
+}
+
+func (e *encoder) close(bracket string) {
+	e.indent--
+	if !e.first[len(e.first)-1] {
+		e.line()
+	}
+	e.first = e.first[:len(e.first)-1]
+	e.b.WriteString(bracket)
+}
+
+func (e *encoder) key(name string) {
+	e.pre()
+	e.b.WriteString(quoteString(name))
+	e.b.WriteString(": ")
+}
+
+func (e *encoder) field(name, rendered string) {
+	e.key(name)
+	e.b.WriteString(rendered)
+}
+
+func (e *encoder) item() {
+	e.pre()
+}
+
+func (e *encoder) topology(t *Topology) {
+	e.open("{")
+	e.field("kind", quoteString(t.Kind))
+	switch t.Kind {
+	case "clos":
+		e.field("pods", strconv.Itoa(t.Pods))
+		e.field("tors_per_pod", strconv.Itoa(t.ToRsPerPod))
+		e.field("aggs_per_pod", strconv.Itoa(t.AggsPerPod))
+		e.field("spines", strconv.Itoa(t.Spines))
+		e.field("spine_uplinks_per_agg", strconv.Itoa(t.SpineUplinksPerAgg))
+		e.field("breakout_size", strconv.Itoa(t.BreakoutSize))
+	case "fattree":
+		e.field("k", strconv.Itoa(t.K))
+	}
+	e.close("}")
+}
+
+func (e *encoder) chaos(c *Chaos) {
+	e.open("{")
+	e.field("stream", quoteString(c.Stream))
+	e.field("faults_per_link_per_day", formatFloat(c.FaultsPerLinkPerDay))
+	if c.MaxRate != 0 {
+		e.field("max_rate", formatFloat(c.MaxRate))
+	}
+	if c.SharedMinLinks != 0 {
+		e.field("shared_min_links", strconv.Itoa(c.SharedMinLinks))
+	}
+	if c.SharedMaxLinks != 0 {
+		e.field("shared_max_links", strconv.Itoa(c.SharedMaxLinks))
+	}
+	e.close("}")
+}
+
+func (e *encoder) event(ev *Event) {
+	e.open("{")
+	e.field("kind", quoteString(ev.Kind))
+	switch ev.Kind {
+	case EventCorrupt:
+		if ev.Label != "" {
+			e.field("id", quoteString(ev.Label))
+		}
+		e.field("at", quoteString(formatDur(ev.At)))
+		e.field("link", strconv.Itoa(ev.Link))
+		e.field("rate", formatFloat(ev.Rate))
+		e.field("direction", quoteString(ev.Direction))
+		e.field("cause", quoteString(ev.Cause))
+	case EventRepair:
+		e.field("at", quoteString(formatDur(ev.At)))
+		e.field("target", quoteString(ev.Target))
+	case EventFlap:
+		e.field("link", strconv.Itoa(ev.Link))
+		e.field("start", quoteString(formatDur(ev.Start)))
+		e.field("count", strconv.Itoa(ev.Count))
+		e.field("up", quoteString(formatDur(ev.Up)))
+		e.field("down", quoteString(formatDur(ev.Down)))
+		e.field("rate", formatFloat(ev.Rate))
+		e.field("direction", quoteString(ev.Direction))
+	case EventRamp:
+		e.field("link", strconv.Itoa(ev.Link))
+		e.field("start", quoteString(formatDur(ev.Start)))
+		e.field("duration", quoteString(formatDur(ev.Duration)))
+		e.field("steps", strconv.Itoa(ev.Steps))
+		e.field("from", formatFloat(ev.From))
+		e.field("to", formatFloat(ev.To))
+		e.field("direction", quoteString(ev.Direction))
+	case EventBreakout:
+		if ev.Label != "" {
+			e.field("id", quoteString(ev.Label))
+		}
+		e.field("at", quoteString(formatDur(ev.At)))
+		e.field("link", strconv.Itoa(ev.Link))
+		e.field("rate", formatFloat(ev.Rate))
+		e.field("direction", quoteString(ev.Direction))
+	}
+	e.close("}")
+}
+
+func (e *encoder) run(r *Run) {
+	e.open("{")
+	e.field("name", quoteString(r.Name))
+	e.field("policy", quoteString(r.Policy))
+	e.field("capacity", formatFloat(r.Capacity))
+	e.field("detection_threshold", formatFloat(r.DetectionThreshold))
+	if r.DetectionDelay != 0 {
+		e.field("detection_delay", quoteString(formatDur(r.DetectionDelay)))
+	}
+	e.field("repair_mode", quoteString(r.RepairMode))
+	e.field("accuracy", formatFloat(r.Accuracy))
+	if r.IgnoreProb != 0 {
+		e.field("ignore_prob", formatFloat(r.IgnoreProb))
+	}
+	if r.DeployedEngine {
+		e.field("deployed_engine", "true")
+	}
+	if r.NoOpticsFraction != 0 {
+		e.field("no_optics_fraction", formatFloat(r.NoOpticsFraction))
+	}
+	if r.DrainMode {
+		e.field("drain_mode", "true")
+	}
+	if r.RepairCollateral {
+		e.field("repair_collateral", "true")
+	}
+	e.field("service_time", quoteString(formatDur(r.ServiceTime)))
+	if r.Technicians != 0 {
+		e.field("technicians", strconv.Itoa(r.Technicians))
+	}
+	e.field("seed", strconv.FormatUint(r.Seed, 10))
+	if r.Dampening != nil {
+		e.key("dampening")
+		e.open("{")
+		e.field("window", quoteString(formatDur(r.Dampening.Window)))
+		e.field("flaps", strconv.Itoa(r.Dampening.Flaps))
+		e.field("holddown", quoteString(formatDur(r.Dampening.Holddown)))
+		e.close("}")
+	}
+	e.close("}")
+}
+
+func (e *encoder) assertion(a *Assertion) {
+	e.open("{")
+	e.field("metric", quoteString(a.Metric))
+	if RatioMetrics[a.Metric] {
+		e.key("runs")
+		e.b.WriteString("[" + quoteString(a.Runs[0]) + ", " + quoteString(a.Runs[1]) + "]")
+	} else {
+		e.field("run", quoteString(a.Run))
+	}
+	if a.Min != nil {
+		e.field("min", formatFloat(*a.Min))
+	}
+	if a.Max != nil {
+		e.field("max", formatFloat(*a.Max))
+	}
+	e.close("}")
+}
+
+// formatFloat renders a float so that parsing it back yields the exact
+// same value (shortest round-trip form).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// formatDur renders a duration canonically: whole days as "Nd", everything
+// else in Go's time.Duration syntax. parseDur inverts both forms exactly.
+func formatDur(d time.Duration) string {
+	const day = 24 * time.Hour
+	if d > 0 && d%day == 0 {
+		return strconv.FormatInt(int64(d/day), 10) + "d"
+	}
+	return d.String()
+}
+
+// quoteString renders a string as a JSON literal the parser inverts
+// exactly: printable characters raw, the JSON short escapes, \uXXXX for
+// the rest of the control range.
+func quoteString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\b':
+			b.WriteString(`\b`)
+		case '\f':
+			b.WriteString(`\f`)
+		default:
+			if r < 0x20 {
+				b.WriteString(`\u`)
+				const hex = "0123456789abcdef"
+				b.WriteByte('0')
+				b.WriteByte('0')
+				b.WriteByte(hex[(r>>4)&0xf])
+				b.WriteByte(hex[r&0xf])
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

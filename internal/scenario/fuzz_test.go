@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioParse drives the strict parser with arbitrary bytes. The
+// contract under fuzzing is reject-or-roundtrip: any input either fails
+// with an error (never a panic), or parses to a Scenario whose canonical
+// encoding re-parses to the identical Scenario and re-encodes to the
+// identical bytes (the fixpoint the committed profiles rely on).
+func FuzzScenarioParse(f *testing.F) {
+	for _, dir := range []string{filepath.Join("..", "..", "scenarios"), filepath.Join("testdata", "bad")} {
+		files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, file := range files {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"version": 1}`))
+	f.Add([]byte(`# comment only`))
+	f.Add([]byte(`{"version": 1, "name": "f", "horizon": "1d",
+  "topology": {"kind": "fattree", "k": 4},
+  "runs": [{"name": "a", "policy": "none"}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data, "fuzz")
+		if err != nil {
+			return
+		}
+		enc := Encode(s)
+		s2, err := Parse(enc, "fuzz(encoded)")
+		if err != nil {
+			t.Fatalf("canonical encoding rejected: %v\ninput: %q\nencoded:\n%s", err, data, enc)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("roundtrip changed the scenario\ninput: %q\nfirst:  %+v\nsecond: %+v", data, s, s2)
+		}
+		if enc2 := Encode(s2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding unstable\ninput: %q\nfirst:\n%s\nsecond:\n%s", data, enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestBadScenarios feeds every file in testdata/bad through Parse (and,
+// for the files that parse, Compile) and pins the resulting error
+// strings — including their line:col positions — in a single golden.
+// A parser change that moves an error, loses its position, or starts
+// accepting a malformed file shows up as a golden diff.
+func TestBadScenarios(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "bad", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("bad-scenario corpus has %d files, want at least 10", len(files))
+	}
+	sort.Strings(files)
+
+	var b strings.Builder
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Base(file)
+		s, err := Parse(data, base)
+		if err == nil {
+			_, err = Compile(s)
+		}
+		if err == nil {
+			t.Errorf("%s: malformed scenario accepted", base)
+			fmt.Fprintf(&b, "%s: ACCEPTED\n", base)
+			continue
+		}
+		fmt.Fprintf(&b, "%s: %v\n", base, err)
+	}
+
+	goldenPath := filepath.Join("testdata", "bad_errors.txt")
+	got := []byte(b.String())
+	if *update {
+		if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("error strings differ from golden (run with -update):\n%s", diffLines(want, got))
+	}
+}
+
+// TestErrorsCarryPositions spot-checks that parse errors point at the
+// offending token, not just the file.
+func TestErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		file string
+		frag string
+	}{
+		{"unknown_field.json", "unknown field"},
+		{"duplicate_key.json", "duplicate key"},
+		{"negative_event_time.json", "before t=0"},
+		{"unknown_metric.json", "metric"},
+		{"bad_version.json", "version"},
+	}
+	for _, tc := range cases {
+		data, err := os.ReadFile(filepath.Join("testdata", "bad", tc.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = Parse(data, tc.file)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.file)
+			continue
+		}
+		var perr *Error
+		if !asScenarioError(err, &perr) {
+			t.Errorf("%s: error is %T, want *scenario.Error", tc.file, err)
+			continue
+		}
+		if perr.Line <= 0 || perr.Col <= 0 {
+			t.Errorf("%s: error carries no position: %v", tc.file, err)
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q does not mention %q", tc.file, err, tc.frag)
+		}
+		if !strings.Contains(err.Error(), tc.file+":") {
+			t.Errorf("%s: error %q does not lead with the file name", tc.file, err)
+		}
+	}
+}
+
+func asScenarioError(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

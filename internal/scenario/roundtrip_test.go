@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCommittedScenariosRoundtrip proves the fixpoint property on the
+// real profile library: parse → encode → parse yields the identical
+// Scenario, and a second encode yields identical bytes.
+func TestCommittedScenariosRoundtrip(t *testing.T) {
+	for _, file := range scenarioFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Parse(data, file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		enc := Encode(s)
+		s2, err := Parse(enc, file+"(encoded)")
+		if err != nil {
+			t.Fatalf("%s: canonical encoding does not re-parse: %v\n%s", file, err, enc)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("%s: roundtrip changed the scenario\nfirst:  %+v\nsecond: %+v", file, s, s2)
+		}
+		if enc2 := Encode(s2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("%s: encoding is not stable:\n%s", file, diffLines(enc, enc2))
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `# leading comment
+{
+  # inside an object
+  "version": 1, # trailing comment
+  "name": "c",
+  "horizon": "1d",
+  "topology": {"kind": "fattree", "k": 4},
+  "runs": [{"name": "a", "policy": "none"}]
+}
+# closing comment`
+	s, err := Parse([]byte(src), "comments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "c" || s.Horizon != 24*time.Hour {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{`"30d"`, 30 * 24 * time.Hour},
+		{`"1.5d"`, 36 * time.Hour},
+		{`"2h45m"`, 2*time.Hour + 45*time.Minute},
+		{`"90s"`, 90 * time.Second},
+	}
+	for _, tc := range cases {
+		src := `{"version": 1, "name": "d", "horizon": ` + tc.in + `,
+  "topology": {"kind": "fattree", "k": 4},
+  "runs": [{"name": "a", "policy": "none"}]}`
+		s, err := Parse([]byte(src), "durations")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.in, err)
+		}
+		if s.Horizon != tc.want {
+			t.Fatalf("%s: horizon = %v, want %v", tc.in, s.Horizon, tc.want)
+		}
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	src := strings.Repeat("[", 200) + strings.Repeat("]", 200)
+	if _, err := Parse([]byte(src), "deep"); err == nil {
+		t.Fatal("deeply nested document accepted")
+	} else if !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestParseRejectsInvalidUTF8(t *testing.T) {
+	src := []byte(`{"version": 1, "name": "` + string([]byte{0xff, 0xfe}) + `"}`)
+	if _, err := Parse(src, "utf8"); err == nil {
+		t.Fatal("invalid UTF-8 accepted")
+	}
+}
+
+// TestEncodeGoldenShape pins the canonical encoding of a small scenario
+// so format drift is a visible diff, not a silent change.
+func TestEncodeGoldenShape(t *testing.T) {
+	data, err := os.ReadFile("../../scenarios/fattree_drain.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Parse(data, "fattree_drain.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := string(Encode(s))
+	for _, want := range []string{
+		"\"version\": 1",
+		"\"name\": \"fattree_drain\"",
+		"\"horizon\": \"21d\"",
+		"\"kind\": \"fattree\"",
+		"\"drain_mode\": true",
+		"\"detection_delay\": \"6h0m0s\"",
+	} {
+		if !strings.Contains(enc, want) {
+			t.Errorf("canonical encoding missing %q:\n%s", want, enc)
+		}
+	}
+	if !strings.HasSuffix(enc, "}\n") {
+		t.Errorf("canonical encoding does not end with a closing brace and newline")
+	}
+}

@@ -123,6 +123,9 @@ type Config struct {
 	ServiceTime time.Duration
 	// Technicians bounds concurrent repairs; 0 = unlimited.
 	Technicians int
+	// Dampening enables link-flap dampening (see DampeningConfig); nil
+	// disables it. The pointed-to config is read, never written.
+	Dampening *DampeningConfig
 	// SampleInterval is the penalty sampling cadence; default 1h.
 	SampleInterval time.Duration
 	// Penalty is the impact function; default core.LinearPenalty.
@@ -194,6 +197,9 @@ type Result struct {
 	UndisabledEvents int
 	// CorruptionReports counts above-threshold corruption reports.
 	CorruptionReports int
+	// DampenedHolds counts successful repairs whose re-enable was held
+	// back by flap dampening (Config.Dampening).
+	DampenedHolds int
 }
 
 // policy abstracts the three strategies behind a uniform interface.
@@ -264,6 +270,13 @@ type Sim struct {
 	// collateral counts, per healthy link, how many in-progress breakout
 	// repairs are holding it down (RepairCollateral mode).
 	collateral map[topology.LinkID]int
+	// flapAt and dampUntil back flap dampening (Config.Dampening): recent
+	// detection times per link, and the holddown expiry armed once the flap
+	// count trips. Allocated only when dampening is enabled; deliberately
+	// not pooled in Scratch — the maps are tiny (flapping links only) and
+	// dampening runs are the exception, not the steady state.
+	flapAt    map[topology.LinkID][]time.Duration
+	dampUntil map[topology.LinkID]time.Duration
 
 	// Exact penalty integration: lastPenalty held since lastAccrueAt; the
 	// integral advances at every penalty-changing event, not just at
@@ -329,6 +342,13 @@ func NewWithScratch(topo *topology.Topology, tech optics.Technology, cfg Config,
 		s.ticketed = sc.ticketed
 		s.collateral = sc.collateral
 	}
+	if cfg.Dampening != nil {
+		if err := cfg.Dampening.validate(); err != nil {
+			return nil, err
+		}
+		s.flapAt = make(map[topology.LinkID][]time.Duration)
+		s.dampUntil = make(map[topology.LinkID]time.Duration)
+	}
 	// Incremental penalty accounting: the network maintains Σ (1-d_l)·I(f_l)
 	// as O(1)-updatable state, so settle/sample read it instead of
 	// rescanning every link per event.
@@ -371,32 +391,7 @@ func (s *Sim) State() *faults.State { return s.state }
 // result. Build a fresh Sim (with the same Config and Seed for identical
 // output) to run again; a second Run returns an error.
 func (s *Sim) Run(trace []*faults.Fault, horizon time.Duration) (*Result, error) {
-	if s.ran {
-		return nil, fmt.Errorf("sim: Run called twice on the same Sim; Sim is one-shot — build a new Sim to replay")
-	}
-	s.ran = true
-	// Size the output series up front: one sample per interval plus the t=0
-	// and horizon points, one penalty bucket per simulated day. Saves the
-	// append-growth reallocations on every scenario.
-	s.result.Samples = make([]Sample, 0, horizon/s.cfg.SampleInterval+2)
-	s.result.PenaltyPerDay = make([]float64, 0, horizon/(24*time.Hour)+1)
-	for _, f := range trace {
-		f := f
-		if f.Start >= horizon {
-			break
-		}
-		if _, err := s.clock.At(f.Start, func(now time.Duration) { s.onFault(f, now) }); err != nil {
-			return nil, fmt.Errorf("sim: trace not sorted: %w", err)
-		}
-	}
-	s.clock.Every(s.cfg.SampleInterval, s.sample)
-	s.sample(0)
-	s.clock.RunUntil(horizon)
-	// Close the penalty integral at the horizon.
-	s.accrue(horizon)
-	s.result.FirstAttemptSuccessRate = s.queue.FirstAttemptSuccessRate()
-	s.result.MeanAttempts = s.queue.MeanAttempts()
-	return &s.result, nil
+	return s.RunEvents(trace, nil, horizon)
 }
 
 // syncRate mirrors ground truth into the policy-visible network record.
@@ -482,6 +477,9 @@ func (s *Sim) detect(l topology.LinkID, now time.Duration) {
 		return
 	}
 	s.result.CorruptionReports++
+	if s.cfg.Dampening != nil {
+		s.noteFlap(l, now)
+	}
 	if s.pol.tryDisable(l) {
 		s.result.LinksDisabled++
 		s.openTicket(l, now)
@@ -592,6 +590,16 @@ func (s *Sim) completeRepair(tk *tickets.Ticket, now time.Duration) {
 			s.detect(l, now)
 		}
 		return
+	}
+	if s.cfg.Dampening != nil {
+		if until, ok := s.dampUntil[l]; ok && until > now {
+			// Flap dampening: the link repaired healthy but crossed the flap
+			// threshold recently, so hold it down until the holddown expires
+			// instead of re-enabling into the next flap.
+			s.result.DampenedHolds++
+			s.clock.After(until-now, func(at time.Duration) { s.releaseDampened(l, at) })
+			return
+		}
 	}
 	// A real activation: the policy may now disable other corrupting
 	// links that previously had to stay up.

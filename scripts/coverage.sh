@@ -19,7 +19,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PACKAGES="corropt/internal/backoff corropt/internal/ctlplane corropt/internal/detector corropt/internal/fleet corropt/internal/netchaos corropt/internal/snmplite"
+PACKAGES="corropt/internal/backoff corropt/internal/ctlplane corropt/internal/detector corropt/internal/fleet corropt/internal/netchaos corropt/internal/scenario corropt/internal/snmplite"
 FLOORS=scripts/coverage_floors.txt
 MARGIN=2.0 # update mode records measured - MARGIN
 mode="${1:-check}"
